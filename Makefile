@@ -1,0 +1,41 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race vet fmt bench experiments experiments-full fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper table and figure (text to stdout).
+experiments:
+	$(GO) run ./cmd/experiments
+
+experiments-full:
+	$(GO) run ./cmd/experiments -scale full
+
+# Short fuzz pass over the codecs.
+fuzz:
+	$(GO) test ./internal/matrix -fuzz FuzzReadText -fuzztime 10s
+	$(GO) test ./internal/matrix -fuzz FuzzReadBinary -fuzztime 10s
+	$(GO) test ./internal/matrix -fuzz FuzzReadNamedTransactions -fuzztime 10s
+
+clean:
+	rm -rf internal/matrix/testdata/fuzz

@@ -1,0 +1,381 @@
+package assocmine
+
+import (
+	"fmt"
+	"time"
+
+	"assocmine/internal/apriori"
+	"assocmine/internal/candidate"
+	"assocmine/internal/hamminglsh"
+	"assocmine/internal/kminhash"
+	"assocmine/internal/lsh"
+	"assocmine/internal/matrix"
+	"assocmine/internal/minhash"
+	"assocmine/internal/pairs"
+	"assocmine/internal/verify"
+)
+
+// ErrAprioriMemory is returned by SimilarPairs when the Apriori
+// baseline exceeds Config.AprioriMemoryBudget — the failure mode the
+// paper reports for low support thresholds (Fig. 4's "-" rows).
+var ErrAprioriMemory = apriori.ErrMemoryBudget
+
+// Algorithm selects the similar-pair mining scheme.
+type Algorithm int
+
+const (
+	// BruteForce counts every pair exactly. No false positives or
+	// negatives; O(Σ|row|²) time. The ground truth.
+	BruteForce Algorithm = iota
+	// MinHash is the MH scheme (paper Section 3): k independent
+	// min-hash values per column, candidates by signature agreement.
+	// Essentially no false negatives for adequate K; slower.
+	MinHash
+	// KMinHash is the K-MH scheme (Section 3.2): bottom-k sketches from
+	// a single hash function; exploits sparsity, sublinear in K.
+	KMinHash
+	// MinLSH is the M-LSH scheme (Section 4.1): banded LSH over
+	// min-hash values. The fastest; tunable FP/FN trade-off.
+	MinLSH
+	// HammingLSH is the H-LSH scheme (Section 4.2): density-ladder LSH
+	// directly on the data. Fast at high similarity cutoffs; many false
+	// positives, so verification cost dominates.
+	HammingLSH
+	// Apriori is the support-pruned baseline of Fig. 4. It requires
+	// MinSupport > 0 and degrades (eventually failing on memory) as
+	// support drops.
+	Apriori
+)
+
+// String returns the paper's name for the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case BruteForce:
+		return "BruteForce"
+	case MinHash:
+		return "MH"
+	case KMinHash:
+		return "K-MH"
+	case MinLSH:
+		return "M-LSH"
+	case HammingLSH:
+		return "H-LSH"
+	case Apriori:
+		return "A-priori"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Config controls SimilarPairs. Zero values select documented defaults.
+type Config struct {
+	// Algorithm picks the scheme; default BruteForce.
+	Algorithm Algorithm
+	// Threshold is s*, the similarity cutoff. Required (in (0,1]).
+	Threshold float64
+	// K is the number of min-hash values per column for MinHash,
+	// KMinHash and MinLSH. Default 100.
+	K int
+	// Delta loosens the candidate filter: signature-phase candidates
+	// need estimated similarity >= (1-Delta)*Threshold, with exact
+	// filtering left to verification. Default 0.2.
+	Delta float64
+	// R and L are the band size and band count for MinLSH and the
+	// sample size and run count for HammingLSH. Defaults: R=5,
+	// L=K/R (MinLSH) or L=10 (HammingLSH).
+	R, L int
+	// T is the HammingLSH density-window parameter; default 4.
+	T int
+	// MinSupport is the support fraction for Apriori (required for it).
+	MinSupport float64
+	// AprioriMemoryBudget bounds apriori's candidate bytes; zero means
+	// unlimited. When exceeded, SimilarPairs returns
+	// apriori.ErrMemoryBudget (the paper's Fig. 4 "-" entries).
+	AprioriMemoryBudget int64
+	// Seed drives all hashing; runs are deterministic in (data, Config).
+	Seed uint64
+	// SkipVerify returns raw candidates without the exact pruning pass
+	// (their Similarity fields are then estimates or zero).
+	SkipVerify bool
+	// Workers parallelises the signature phase across goroutines when
+	// the data is memory-resident (results are bit-identical to the
+	// serial pass). 0 or 1 means serial; negative means GOMAXPROCS.
+	// Streaming FileDataset runs materialise the matrix when Workers is
+	// set, trading memory for CPU.
+	Workers int
+}
+
+func (c *Config) setDefaults() error {
+	if c.Threshold <= 0 || c.Threshold > 1 {
+		return fmt.Errorf("assocmine: Threshold must be in (0,1], got %v", c.Threshold)
+	}
+	if c.K == 0 {
+		c.K = 100
+	}
+	if c.K < 1 {
+		return fmt.Errorf("assocmine: K must be positive, got %d", c.K)
+	}
+	if c.Delta == 0 {
+		c.Delta = 0.2
+	}
+	if c.Delta < 0 || c.Delta >= 1 {
+		return fmt.Errorf("assocmine: Delta must be in [0,1), got %v", c.Delta)
+	}
+	if c.R == 0 {
+		c.R = 5
+	}
+	if c.R < 1 {
+		return fmt.Errorf("assocmine: R must be positive, got %d", c.R)
+	}
+	if c.L == 0 {
+		if c.Algorithm == HammingLSH {
+			c.L = 10
+		} else {
+			c.L = c.K / c.R
+			if c.L < 1 {
+				c.L = 1
+			}
+		}
+	}
+	if c.L < 1 {
+		return fmt.Errorf("assocmine: L must be positive, got %d", c.L)
+	}
+	if c.Algorithm == MinLSH && c.K < c.R {
+		return fmt.Errorf("assocmine: MinLSH needs K >= R, got K=%d R=%d", c.K, c.R)
+	}
+	if c.Algorithm == Apriori && (c.MinSupport <= 0 || c.MinSupport > 1) {
+		return fmt.Errorf("assocmine: Apriori requires MinSupport in (0,1], got %v", c.MinSupport)
+	}
+	return nil
+}
+
+// Pair is a similar column pair in a Result.
+type Pair struct {
+	I, J int
+	// Estimate is the signature-phase similarity estimate (NaN-free; 0
+	// when the scheme attaches none, e.g. LSH bucket collisions).
+	Estimate float64
+	// Similarity is the exact verified similarity (0 when SkipVerify).
+	Similarity float64
+}
+
+// Stats describes the work a SimilarPairs run performed, phase by
+// phase. Durations are wall-clock for this process (the paper reports
+// CPU time; for these single-threaded phases they coincide).
+type Stats struct {
+	Algorithm  Algorithm
+	Candidates int // pairs entering verification
+	Verified   int // pairs surviving verification
+
+	SignatureTime time.Duration // phase 1
+	CandidateTime time.Duration // phase 2
+	VerifyTime    time.Duration // phase 3
+
+	// DataPasses counts sequential scans of the data (the I/O currency
+	// of the disk-resident setting: phase 1 costs one pass, phase 3
+	// another; a-priori costs one per level). RowsScanned totals rows
+	// delivered across all passes.
+	DataPasses  int
+	RowsScanned int64
+}
+
+// Total returns the end-to-end running time.
+func (s Stats) Total() time.Duration {
+	return s.SignatureTime + s.CandidateTime + s.VerifyTime
+}
+
+// Result is the output of SimilarPairs: pairs sorted by decreasing
+// similarity.
+type Result struct {
+	Pairs []Pair
+	Stats Stats
+}
+
+// SimilarPairs finds all column pairs with similarity >= cfg.Threshold
+// using the configured algorithm. All algorithms are exact after
+// verification except for false negatives: pairs the signature phase
+// missed (controlled by K, Delta, R, L).
+func SimilarPairs(d *Dataset, cfg Config) (*Result, error) {
+	return similarPairs(d.m.Stream(), func() (*matrix.Matrix, error) { return d.m, nil }, cfg)
+}
+
+// similarPairs is the algorithm core. src provides one-pass streaming
+// access (one Scan per phase, mirroring the disk-resident setting);
+// materialize supplies the full column-major matrix for the algorithms
+// that genuinely need it (HammingLSH's fold ladder).
+func similarPairs(rawSrc matrix.RowSource, materialize func() (*matrix.Matrix, error), cfg Config) (*Result, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	counting := &matrix.CountingSource{Src: rawSrc}
+	src := matrix.RowSource(counting)
+	st := Stats{Algorithm: cfg.Algorithm}
+	finish := func(res *Result) *Result {
+		res.Stats.DataPasses = counting.Passes
+		res.Stats.RowsScanned = counting.Rows
+		return res
+	}
+	var cand []pairs.Scored
+
+	switch cfg.Algorithm {
+	case BruteForce:
+		start := time.Now()
+		exact, err := verify.AllPairsSource(src, cfg.Threshold)
+		if err != nil {
+			return nil, err
+		}
+		st.CandidateTime = time.Since(start)
+		st.Candidates = len(exact)
+		st.Verified = len(exact)
+		return finish(&Result{Pairs: toPairs(exact, true), Stats: st}), nil
+
+	case MinHash:
+		start := time.Now()
+		sig, err := computeMH(src, materialize, cfg)
+		if err != nil {
+			return nil, err
+		}
+		st.SignatureTime = time.Since(start)
+		start = time.Now()
+		cutoff := (1 - cfg.Delta) * cfg.Threshold
+		var cst candidate.Stats
+		cand, cst, err = candidate.RowSortMH(sig, cutoff)
+		if err != nil {
+			return nil, err
+		}
+		_ = cst
+		st.CandidateTime = time.Since(start)
+
+	case KMinHash:
+		start := time.Now()
+		sk, err := computeKMH(src, materialize, cfg)
+		if err != nil {
+			return nil, err
+		}
+		st.SignatureTime = time.Since(start)
+		start = time.Now()
+		cutoff := (1 - cfg.Delta) * cfg.Threshold
+		opt := candidate.KMHOptions{
+			BiasedCutoff:   cutoff / 2, // biased estimator under-counts; be generous
+			UnbiasedCutoff: cutoff,
+		}
+		cand, _, err = candidate.HashCountKMH(sk, opt)
+		if err != nil {
+			return nil, err
+		}
+		st.CandidateTime = time.Since(start)
+
+	case MinLSH:
+		start := time.Now()
+		exactBands := cfg.K >= cfg.R*cfg.L
+		sig, err := computeMH(src, materialize, cfg)
+		if err != nil {
+			return nil, err
+		}
+		st.SignatureTime = time.Since(start)
+		start = time.Now()
+		var set *pairs.Set
+		if exactBands {
+			set, _, err = lsh.Candidates(sig, cfg.R, cfg.L)
+		} else {
+			set, _, err = lsh.SampledCandidates(sig, cfg.R, cfg.L, cfg.Seed+1)
+		}
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range set.Slice() {
+			cand = append(cand, pairs.Scored{Pair: p})
+		}
+		st.CandidateTime = time.Since(start)
+
+	case HammingLSH:
+		start := time.Now()
+		full, err := materialize()
+		if err != nil {
+			return nil, err
+		}
+		set, _, err := hamminglsh.Candidates(full, hamminglsh.Options{
+			R: cfg.R, L: cfg.L, T: cfg.T, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range set.Slice() {
+			cand = append(cand, pairs.Scored{Pair: p})
+		}
+		st.CandidateTime = time.Since(start)
+
+	case Apriori:
+		start := time.Now()
+		res, err := apriori.Mine(src, apriori.Options{
+			MinSupport:   cfg.MinSupport,
+			MaxLevel:     2,
+			MemoryBudget: cfg.AprioriMemoryBudget,
+		})
+		if err != nil {
+			return nil, err
+		}
+		exact, err := res.SimilarPairs(cfg.Threshold)
+		if err != nil {
+			return nil, err
+		}
+		st.CandidateTime = time.Since(start)
+		st.Candidates = len(exact)
+		st.Verified = len(exact)
+		return finish(&Result{Pairs: toPairs(exact, true), Stats: st}), nil
+
+	default:
+		return nil, fmt.Errorf("assocmine: unknown algorithm %d", int(cfg.Algorithm))
+	}
+
+	st.Candidates = len(cand)
+	if cfg.SkipVerify {
+		pairs.SortScored(cand)
+		return finish(&Result{Pairs: toPairs(cand, false), Stats: st}), nil
+	}
+	start := time.Now()
+	verified, _, err := verify.Exact(src, cand, cfg.Threshold)
+	if err != nil {
+		return nil, err
+	}
+	st.VerifyTime = time.Since(start)
+	st.Verified = len(verified)
+	pairs.SortScored(verified)
+	return finish(&Result{Pairs: toPairs(verified, true), Stats: st}), nil
+}
+
+// computeMH runs the MH signature pass, parallel when cfg.Workers asks
+// for it (which requires the materialised matrix).
+func computeMH(src matrix.RowSource, materialize func() (*matrix.Matrix, error), cfg Config) (*minhash.Signatures, error) {
+	if cfg.Workers == 0 || cfg.Workers == 1 {
+		return minhash.Compute(src, cfg.K, cfg.Seed)
+	}
+	m, err := materialize()
+	if err != nil {
+		return nil, err
+	}
+	return minhash.ComputeParallel(m, cfg.K, cfg.Seed, cfg.Workers)
+}
+
+// computeKMH is computeMH for bottom-k sketches.
+func computeKMH(src matrix.RowSource, materialize func() (*matrix.Matrix, error), cfg Config) (*kminhash.Sketches, error) {
+	if cfg.Workers == 0 || cfg.Workers == 1 {
+		return kminhash.Compute(src, cfg.K, cfg.Seed)
+	}
+	m, err := materialize()
+	if err != nil {
+		return nil, err
+	}
+	return kminhash.ComputeParallel(m, cfg.K, cfg.Seed, cfg.Workers)
+}
+
+func toPairs(ps []pairs.Scored, verified bool) []Pair {
+	out := make([]Pair, len(ps))
+	for i, p := range ps {
+		out[i] = Pair{I: int(p.I), J: int(p.J), Estimate: p.Estimate}
+		if verified {
+			out[i].Similarity = p.Exact
+		}
+	}
+	return out
+}

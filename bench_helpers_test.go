@@ -1,0 +1,29 @@
+package assocmine_test
+
+import (
+	"sort"
+
+	"assocmine/internal/hashing"
+	"assocmine/internal/matrix"
+)
+
+// sortAllBottomK is the naive bottom-k baseline for the ablation
+// benchmark: hash every row of every column, sort the full list, keep
+// the first k — no bounded heap, no early rejection.
+func sortAllBottomK(m *matrix.Matrix, k int, seed uint64) [][]uint64 {
+	h := hashing.NewPermHash(seed)
+	out := make([][]uint64, m.NumCols())
+	for c := 0; c < m.NumCols(); c++ {
+		col := m.Column(c)
+		vals := make([]uint64, len(col))
+		for i, r := range col {
+			vals[i] = h.Row(int(r))
+		}
+		sort.Slice(vals, func(a, b int) bool { return vals[a] < vals[b] })
+		if len(vals) > k {
+			vals = vals[:k]
+		}
+		out[c] = vals
+	}
+	return out
+}

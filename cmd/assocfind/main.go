@@ -1,0 +1,192 @@
+// Command assocfind mines a dataset file for highly-similar column
+// pairs (or high-confidence rules) using any of the paper's algorithms.
+//
+// Usage:
+//
+//	assocfind -in data.amx -algo mlsh -threshold 0.7
+//	assocfind -in data.arows -algo kmh -threshold 0.5 -k 200 -stream
+//	assocfind -in baskets.txt -transactions -algo mh -threshold 0.8 -clusters
+//	assocfind -in data.amx -rules -confidence 0.9
+//	assocfind -in data.amx -algo apriori -threshold 0.5 -support 0.01
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"assocmine"
+)
+
+type options struct {
+	in        string
+	algo      string
+	threshold float64
+	k, r, l   int
+	support   float64
+	seed      uint64
+	top       int
+	doRules   bool
+	conf      float64
+	stats     bool
+	stream    bool
+	txns      bool
+	clusters  bool
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.in, "in", "", "input dataset file (required)")
+	flag.StringVar(&o.algo, "algo", "mlsh", "algorithm: brute | mh | kmh | mlsh | hlsh | apriori")
+	flag.Float64Var(&o.threshold, "threshold", 0.7, "similarity threshold s*")
+	flag.IntVar(&o.k, "k", 100, "min-hash values per column (mh, kmh, mlsh)")
+	flag.IntVar(&o.r, "r", 0, "band size / sample bits (mlsh, hlsh); 0 = default")
+	flag.IntVar(&o.l, "l", 0, "band count / runs (mlsh, hlsh); 0 = default")
+	flag.Float64Var(&o.support, "support", 0, "apriori only: minimum support fraction")
+	flag.Uint64Var(&o.seed, "seed", 1, "random seed")
+	flag.IntVar(&o.top, "top", 50, "print at most this many pairs/rules (0 = all)")
+	flag.BoolVar(&o.doRules, "rules", false, "mine high-confidence rules instead of similar pairs")
+	flag.Float64Var(&o.conf, "confidence", 0.9, "rules only: confidence threshold")
+	flag.BoolVar(&o.stats, "stats", true, "print phase statistics")
+	flag.BoolVar(&o.stream, "stream", false, "mine directly from disk (one file pass per phase; .txt or .arows)")
+	flag.BoolVar(&o.txns, "transactions", false, "input is named-transaction format (item names per line)")
+	flag.BoolVar(&o.clusters, "clusters", false, "also group the found pairs into column clusters")
+	flag.Parse()
+	if o.in == "" {
+		fmt.Fprintln(os.Stderr, "assocfind: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "assocfind:", err)
+		os.Exit(1)
+	}
+}
+
+func parseAlgo(s string) (assocmine.Algorithm, error) {
+	switch strings.ToLower(s) {
+	case "brute", "bruteforce":
+		return assocmine.BruteForce, nil
+	case "mh", "minhash":
+		return assocmine.MinHash, nil
+	case "kmh", "kminhash", "k-mh":
+		return assocmine.KMinHash, nil
+	case "mlsh", "minlsh", "m-lsh":
+		return assocmine.MinLSH, nil
+	case "hlsh", "hamminglsh", "h-lsh":
+		return assocmine.HammingLSH, nil
+	case "apriori", "a-priori":
+		return assocmine.Apriori, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q", s)
+	}
+}
+
+func run(o options) error {
+	var (
+		data  *assocmine.Dataset
+		fd    *assocmine.FileDataset
+		names []string
+		err   error
+	)
+	switch {
+	case o.txns:
+		data, names, err = assocmine.LoadTransactions(o.in)
+	case o.stream:
+		fd, err = assocmine.OpenFileDataset(o.in)
+	default:
+		data, err = assocmine.LoadDataset(o.in)
+	}
+	if err != nil {
+		return err
+	}
+	label := func(c int) string {
+		if names != nil {
+			return names[c]
+		}
+		return fmt.Sprintf("c%d", c)
+	}
+	if fd != nil {
+		fmt.Printf("streaming %s: %d rows x %d cols\n", o.in, fd.NumRows(), fd.NumCols())
+	} else {
+		fmt.Printf("loaded %s: %d rows x %d cols, %d ones\n", o.in, data.NumRows(), data.NumCols(), data.Ones())
+	}
+
+	if o.doRules {
+		if data == nil {
+			if data, err = fd.Load(); err != nil {
+				return err
+			}
+		}
+		res, err := assocmine.MineRules(data, assocmine.RuleConfig{
+			MinConfidence: o.conf, K: o.k, Seed: o.seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d high-confidence rules (confidence >= %.2f):\n", len(res.Rules), o.conf)
+		for i, rr := range res.Rules {
+			if o.top > 0 && i >= o.top {
+				fmt.Printf("  ... and %d more\n", len(res.Rules)-o.top)
+				break
+			}
+			fmt.Printf("  %s => %s  conf=%.3f (est %.3f)\n", label(rr.From), label(rr.To), rr.Confidence, rr.Estimate)
+		}
+		if o.stats {
+			printStats(res.Stats)
+		}
+		return nil
+	}
+
+	a, err := parseAlgo(o.algo)
+	if err != nil {
+		return err
+	}
+	cfg := assocmine.Config{
+		Algorithm: a, Threshold: o.threshold, K: o.k, R: o.r, L: o.l,
+		MinSupport: o.support, Seed: o.seed,
+	}
+	var res *assocmine.Result
+	if fd != nil {
+		res, err = fd.SimilarPairs(cfg)
+	} else {
+		res, err = assocmine.SimilarPairs(data, cfg)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d similar pairs (similarity >= %.2f) via %v:\n", len(res.Pairs), o.threshold, a)
+	for i, p := range res.Pairs {
+		if o.top > 0 && i >= o.top {
+			fmt.Printf("  ... and %d more\n", len(res.Pairs)-o.top)
+			break
+		}
+		fmt.Printf("  (%s, %s)  sim=%.3f\n", label(p.I), label(p.J), p.Similarity)
+	}
+	if o.clusters {
+		if data == nil {
+			if data, err = fd.Load(); err != nil {
+				return err
+			}
+		}
+		groups := assocmine.Cluster(data, res.Pairs, 0.5)
+		fmt.Printf("%d clusters (pairwise density >= 0.5):\n", len(groups))
+		for _, g := range groups {
+			parts := make([]string, len(g))
+			for i, c := range g {
+				parts[i] = label(c)
+			}
+			fmt.Printf("  {%s}\n", strings.Join(parts, ", "))
+		}
+	}
+	if o.stats {
+		printStats(res.Stats)
+	}
+	return nil
+}
+
+func printStats(s assocmine.Stats) {
+	fmt.Printf("phases: signatures %v, candidates %v (%d pairs), verification %v (%d kept); total %v\n",
+		s.SignatureTime, s.CandidateTime, s.Candidates, s.VerifyTime, s.Verified, s.Total())
+}

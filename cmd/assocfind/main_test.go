@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"assocmine"
+)
+
+func TestParseAlgo(t *testing.T) {
+	cases := map[string]assocmine.Algorithm{
+		"brute": assocmine.BruteForce, "bruteforce": assocmine.BruteForce,
+		"mh": assocmine.MinHash, "MinHash": assocmine.MinHash,
+		"kmh": assocmine.KMinHash, "K-MH": assocmine.KMinHash,
+		"mlsh": assocmine.MinLSH, "M-LSH": assocmine.MinLSH,
+		"hlsh": assocmine.HammingLSH, "HammingLSH": assocmine.HammingLSH,
+		"apriori": assocmine.Apriori, "A-priori": assocmine.Apriori,
+	}
+	for in, want := range cases {
+		got, err := parseAlgo(in)
+		if err != nil || got != want {
+			t.Errorf("parseAlgo(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseAlgo("nope"); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func writeFixture(t *testing.T) string {
+	t.Helper()
+	d, _, err := assocmine.GenerateSynthetic(assocmine.SyntheticOptions{
+		Rows: 800, Cols: 60, PairsPerRange: 1, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "data.txt")
+	if err := d.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSimilarPairs(t *testing.T) {
+	path := writeFixture(t)
+	o := options{
+		in: path, algo: "mlsh", threshold: 0.45, k: 60, seed: 1, top: 5,
+		stats: true,
+	}
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunStreaming(t *testing.T) {
+	path := writeFixture(t)
+	o := options{
+		in: path, algo: "kmh", threshold: 0.45, k: 60, seed: 1, top: 5,
+		stream: true, clusters: true,
+	}
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRules(t *testing.T) {
+	path := writeFixture(t)
+	o := options{in: path, doRules: true, conf: 0.8, k: 80, seed: 1, top: 5}
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTransactions(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baskets.txt")
+	content := "milk bread\nmilk bread\nbeer\nbeer chips\nmilk bread beer\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o := options{in: path, txns: true, algo: "brute", threshold: 0.5, top: 10}
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(options{in: "/nonexistent/x.txt", algo: "mh", threshold: 0.5}); err == nil {
+		t.Error("missing file accepted")
+	}
+	path := writeFixture(t)
+	if err := run(options{in: path, algo: "bogus", threshold: 0.5}); err == nil {
+		t.Error("bad algorithm accepted")
+	}
+	if err := run(options{in: path, algo: "mh", threshold: -1}); err == nil {
+		t.Error("bad threshold accepted")
+	}
+}

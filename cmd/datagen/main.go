@@ -1,0 +1,118 @@
+// Command datagen generates the paper's experimental datasets to disk
+// in the assocmine matrix formats (.txt transactions or .amx binary).
+//
+// Usage:
+//
+//	datagen -kind synthetic -rows 10000 -cols 1000 -out syn.amx
+//	datagen -kind weblog -rows 20000 -cols 3000 -out web.amx
+//	datagen -kind news -rows 30000 -cols 6000 -out news.amx -words words.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"assocmine"
+)
+
+func main() {
+	var (
+		kind  = flag.String("kind", "synthetic", "dataset kind: synthetic | weblog | news | quest")
+		rows  = flag.Int("rows", 10000, "rows (baskets / clients / documents)")
+		cols  = flag.Int("cols", 1000, "columns (items / URLs / background vocabulary)")
+		seed  = flag.Uint64("seed", 1, "random seed")
+		out   = flag.String("out", "", "output path (.amx = column binary, .arows = streaming binary, else text)")
+		words = flag.String("words", "", "news only: also write the column vocabulary here")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "datagen: -out is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*kind, *rows, *cols, *seed, *out, *words); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind string, rows, cols int, seed uint64, out, words string) error {
+	var data *assocmine.Dataset
+	switch kind {
+	case "synthetic":
+		d, planted, err := assocmine.GenerateSynthetic(assocmine.SyntheticOptions{
+			Rows: rows, Cols: cols, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		data = d
+		fmt.Printf("synthetic: %d rows x %d cols, %d planted pairs\n", rows, cols, len(planted))
+	case "weblog":
+		w, err := assocmine.GenerateWebLog(assocmine.WebLogOptions{
+			Clients: rows, URLs: cols, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		data = w.Data
+		fmt.Printf("weblog: %d clients x %d URLs, %d resource groups\n", rows, cols, len(w.Groups))
+	case "quest":
+		q, err := assocmine.GenerateQuest(assocmine.QuestOptions{
+			Transactions: rows, Items: cols, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		data = q.Data
+		fmt.Printf("quest: %d transactions x %d items, %d planted patterns\n",
+			rows, cols, len(q.Patterns))
+	case "news":
+		n, err := assocmine.GenerateNews(assocmine.NewsOptions{
+			Docs: rows, Vocab: cols, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		data = n.Data
+		fmt.Printf("news: %d docs x %d words (incl. planted), %d planted collocations\n",
+			rows, n.Data.NumCols(), len(n.PlantedPairs))
+		if words != "" {
+			if err := writeWords(words, n.Words); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("unknown kind %q (want synthetic, weblog or news)", kind)
+	}
+	if strings.HasSuffix(out, ".arows") {
+		err := data.SaveRowBinary(out)
+		if err != nil {
+			return err
+		}
+	} else if err := data.Save(out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d ones, density %.4f%%)\n", out, data.Ones(),
+		100*float64(data.Ones())/float64(data.NumRows()*data.NumCols()))
+	return nil
+}
+
+func writeWords(path string, words []string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	for _, word := range words {
+		fmt.Fprintln(w, word)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"assocmine"
+)
+
+func TestRunAllKinds(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		kind, out string
+		words     string
+	}{
+		{"synthetic", "syn.txt", ""},
+		{"weblog", "web.amx", ""},
+		{"news", "news.arows", "words.txt"},
+		{"quest", "quest.txt", ""},
+	}
+	for _, c := range cases {
+		out := filepath.Join(dir, c.out)
+		words := ""
+		if c.words != "" {
+			words = filepath.Join(dir, c.words)
+		}
+		if err := run(c.kind, 300, 80, 1, out, words); err != nil {
+			t.Fatalf("%s: %v", c.kind, err)
+		}
+		d, err := assocmine.LoadDataset(out)
+		if err != nil {
+			t.Fatalf("%s: load: %v", c.kind, err)
+		}
+		if d.NumRows() != 300 {
+			t.Errorf("%s: rows = %d", c.kind, d.NumRows())
+		}
+	}
+}
+
+func TestRunUnknownKind(t *testing.T) {
+	if err := run("bogus", 10, 10, 1, filepath.Join(t.TempDir(), "x.txt"), ""); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestRunBadPath(t *testing.T) {
+	if err := run("synthetic", 10, 10, 1, "/nonexistent-dir/x.txt", ""); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}

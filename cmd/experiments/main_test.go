@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+// The experiment drivers have their own tests in internal/eval; these
+// exercise the CLI wiring (flag validation and the fast experiments).
+func TestRunValidation(t *testing.T) {
+	if err := run("bogus", "2", 1, "text"); err == nil {
+		t.Error("unknown scale accepted")
+	}
+	if err := run("small", "2", 1, "bogus"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestRunAnalyticFigure(t *testing.T) {
+	// Fig. 2 is purely analytic: no workload generation, fast.
+	if err := run("small", "2", 1, "text"); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("small", "2", 1, "markdown"); err != nil {
+		t.Fatal(err)
+	}
+}

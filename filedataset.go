@@ -1,0 +1,75 @@
+package assocmine
+
+import (
+	"fmt"
+	"sync"
+
+	"assocmine/internal/matrix"
+)
+
+// FileDataset mines a dataset straight from disk: every phase that only
+// needs sequential access (signature computation, a-priori counting,
+// verification) performs one fresh pass over the file, and nothing but
+// the O(m·K) signatures and candidate counters is held in memory. This
+// is the paper's actual operating regime — "we are more interested in
+// the case where M is large and the data is disk-resident".
+//
+// Supported files: the text transaction format (".txt" written by
+// Dataset.Save) and the row-major streaming binary format (".arows",
+// written by SaveRowBinary). HammingLSH and the Cluster helper need the
+// full matrix; for those the file is materialised once and cached.
+type FileDataset struct {
+	src *matrix.FileSource
+
+	once sync.Once
+	mat  *matrix.Matrix
+	err  error
+}
+
+// OpenFileDataset validates the file header and returns a FileDataset.
+func OpenFileDataset(path string) (*FileDataset, error) {
+	src, err := matrix.OpenFileSource(path)
+	if err != nil {
+		return nil, err
+	}
+	return &FileDataset{src: src}, nil
+}
+
+// NumRows returns the row count from the file header.
+func (f *FileDataset) NumRows() int { return f.src.NumRows() }
+
+// NumCols returns the column count from the file header.
+func (f *FileDataset) NumCols() int { return f.src.NumCols() }
+
+// SimilarPairs runs the configured algorithm with one file pass per
+// phase. Only HammingLSH materialises the matrix (its fold ladder is a
+// whole-data structure).
+func (f *FileDataset) SimilarPairs(cfg Config) (*Result, error) {
+	return similarPairs(f.src, f.materialize, cfg)
+}
+
+// Load materialises the file into an in-memory Dataset (cached; later
+// calls reuse it).
+func (f *FileDataset) Load() (*Dataset, error) {
+	m, err := f.materialize()
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{m: m}, nil
+}
+
+func (f *FileDataset) materialize() (*matrix.Matrix, error) {
+	f.once.Do(func() {
+		f.mat, f.err = matrix.Collect(f.src)
+	})
+	if f.err != nil {
+		return nil, fmt.Errorf("assocmine: materialising file dataset: %w", f.err)
+	}
+	return f.mat, nil
+}
+
+// SaveRowBinary writes the dataset in the ".arows" row-major streaming
+// binary format, the most compact input for FileDataset.
+func (d *Dataset) SaveRowBinary(path string) error {
+	return matrix.SaveRowBinary(path, d.m.Stream())
+}

@@ -1,0 +1,130 @@
+package assocmine
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func fileDatasetFixture(t *testing.T, ext string) (*Dataset, *FileDataset) {
+	t.Helper()
+	d, _, err := GenerateSynthetic(SyntheticOptions{Rows: 1500, Cols: 120, PairsPerRange: 2, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "data"+ext)
+	switch ext {
+	case ".arows":
+		if err := d.SaveRowBinary(path); err != nil {
+			t.Fatal(err)
+		}
+	default:
+		if err := d.Save(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fd, err := OpenFileDataset(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, fd
+}
+
+// TestFileDatasetMatchesInMemory: every algorithm must produce
+// identical results mining from disk and from memory.
+func TestFileDatasetMatchesInMemory(t *testing.T) {
+	for _, ext := range []string{".txt", ".arows"} {
+		d, fd := fileDatasetFixture(t, ext)
+		if fd.NumRows() != d.NumRows() || fd.NumCols() != d.NumCols() {
+			t.Fatalf("%s: header dims %dx%d", ext, fd.NumRows(), fd.NumCols())
+		}
+		configs := []Config{
+			{Algorithm: BruteForce, Threshold: 0.45},
+			{Algorithm: MinHash, Threshold: 0.45, K: 60, Seed: 5},
+			{Algorithm: KMinHash, Threshold: 0.45, K: 60, Seed: 5},
+			{Algorithm: MinLSH, Threshold: 0.45, K: 60, R: 3, L: 20, Seed: 5},
+			{Algorithm: HammingLSH, Threshold: 0.45, R: 6, L: 10, Seed: 5},
+		}
+		for _, cfg := range configs {
+			mem, err := SimilarPairs(d, cfg)
+			if err != nil {
+				t.Fatalf("%s %v (memory): %v", ext, cfg.Algorithm, err)
+			}
+			file, err := fd.SimilarPairs(cfg)
+			if err != nil {
+				t.Fatalf("%s %v (file): %v", ext, cfg.Algorithm, err)
+			}
+			if len(mem.Pairs) != len(file.Pairs) {
+				t.Fatalf("%s %v: %d pairs from memory, %d from file",
+					ext, cfg.Algorithm, len(mem.Pairs), len(file.Pairs))
+			}
+			for i := range mem.Pairs {
+				if mem.Pairs[i] != file.Pairs[i] {
+					t.Fatalf("%s %v: pair %d differs: %+v vs %+v",
+						ext, cfg.Algorithm, i, mem.Pairs[i], file.Pairs[i])
+				}
+			}
+		}
+	}
+}
+
+func TestFileDatasetLoad(t *testing.T) {
+	d, fd := fileDatasetFixture(t, ".txt")
+	loaded, err := fd.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Ones() != d.Ones() {
+		t.Errorf("loaded Ones = %d, want %d", loaded.Ones(), d.Ones())
+	}
+	// Cached: second load returns the same matrix.
+	again, err := fd.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.m != loaded.m {
+		t.Error("Load did not cache the materialised matrix")
+	}
+}
+
+func TestOpenFileDatasetMissing(t *testing.T) {
+	if _, err := OpenFileDataset(filepath.Join(t.TempDir(), "nope.txt")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestFileDatasetMineRules(t *testing.T) {
+	d, fd := fileDatasetFixture(t, ".txt")
+	cfg := RuleConfig{MinConfidence: 0.7, K: 80, Seed: 3}
+	mem, err := MineRules(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	file, err := fd.MineRules(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mem.Rules) != len(file.Rules) {
+		t.Fatalf("rules: %d from memory, %d from file", len(mem.Rules), len(file.Rules))
+	}
+	for i := range mem.Rules {
+		if mem.Rules[i] != file.Rules[i] {
+			t.Fatalf("rule %d differs: %+v vs %+v", i, mem.Rules[i], file.Rules[i])
+		}
+	}
+}
+
+func TestFileDatasetApriori(t *testing.T) {
+	d, fd := fileDatasetFixture(t, ".arows")
+	cfg := Config{Algorithm: Apriori, Threshold: 0.45, MinSupport: 0.02}
+	mem, err := SimilarPairs(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	file, err := fd.SimilarPairs(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mem.Pairs) != len(file.Pairs) {
+		t.Fatalf("apriori: %d pairs from memory, %d from file", len(mem.Pairs), len(file.Pairs))
+	}
+}

@@ -1,0 +1,3 @@
+module assocmine
+
+go 1.22

@@ -1,0 +1,156 @@
+package assocmine
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// Cross-cutting integration tests at the public-API level.
+
+func TestTransactionsPublicRoundTrip(t *testing.T) {
+	d, err := NewDatasetFromRows(4, [][]int{{0, 1}, {2}, {0, 1, 3}, {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"milk", "bread", "beer", "chips"}
+	path := filepath.Join(t.TempDir(), "baskets.txt")
+	if err := d.SaveTransactions(path, names); err != nil {
+		t.Fatal(err)
+	}
+	got, gotNames, err := LoadTransactions(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Names come back in first-appearance order, which here matches the
+	// column order of rows containing them; map and compare content.
+	if got.Ones() != d.Ones() || got.NumRows() != d.NumRows() {
+		t.Fatalf("round trip: %dx%d with %d ones", got.NumRows(), got.NumCols(), got.Ones())
+	}
+	idx := map[string]int{}
+	for i, n := range gotNames {
+		idx[n] = i
+	}
+	// milk & bread are perfectly similar in both.
+	if got.Similarity(idx["milk"], idx["bread"]) != d.Similarity(0, 1) {
+		t.Error("similarity changed across transaction round trip")
+	}
+	// Bad names rejected.
+	if err := d.SaveTransactions(path, []string{"a", "b"}); err == nil {
+		t.Error("wrong name count accepted")
+	}
+}
+
+func TestStatsTotal(t *testing.T) {
+	s := Stats{
+		SignatureTime: 2 * time.Millisecond,
+		CandidateTime: 3 * time.Millisecond,
+		VerifyTime:    5 * time.Millisecond,
+	}
+	if s.Total() != 10*time.Millisecond {
+		t.Errorf("Total = %v", s.Total())
+	}
+}
+
+func TestOrRulesExactSimilarity(t *testing.T) {
+	rows := make([][]int, 2000)
+	for r := range rows {
+		switch {
+		case r%30 == 0:
+			rows[r] = []int{0, 1}
+		case r%30 == 1:
+			rows[r] = []int{0, 2}
+		}
+	}
+	d, err := NewDatasetFromRows(3, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ors, err := OrRules(d, map[int][]int{0: {1, 2}}, 0.7, 200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ors) == 0 {
+		t.Fatal("no OR rules found")
+	}
+	r := ors[0]
+	if r.Similarity < 0.7 {
+		t.Errorf("verified similarity %v below threshold", r.Similarity)
+	}
+	// Exact check: c0 = c1 ∪ c2 exactly, so similarity is 1.
+	if r.Similarity != 1 {
+		t.Errorf("similarity = %v, want 1", r.Similarity)
+	}
+}
+
+// TestSeedIndependenceOfExactness: different seeds change which pairs
+// the probabilistic schemes find, but never the exactness of what is
+// reported.
+func TestSeedIndependenceOfExactness(t *testing.T) {
+	d, _ := plantedDataset(t)
+	for seed := uint64(1); seed <= 5; seed++ {
+		res, err := SimilarPairs(d, Config{Algorithm: MinLSH, Threshold: 0.6, K: 40, R: 4, L: 10, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range res.Pairs {
+			if got := d.Similarity(p.I, p.J); got != p.Similarity {
+				t.Fatalf("seed %d: reported %v, exact %v", seed, p.Similarity, got)
+			}
+			if p.Similarity < 0.6 {
+				t.Fatalf("seed %d: below-threshold pair reported", seed)
+			}
+		}
+	}
+}
+
+// TestEndToEndViaEveryEntryPoint exercises the same dataset through the
+// in-memory, file, precomputed-signature, and progressive entry points
+// and checks they agree at a fixed seed.
+func TestEndToEndViaEveryEntryPoint(t *testing.T) {
+	d, _ := plantedDataset(t)
+	cfg := Config{Algorithm: MinLSH, Threshold: 0.7, K: 60, R: 3, L: 20, Seed: 8}
+
+	batch, err := SimilarPairs(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "d.arows")
+	if err := d.SaveRowBinary(path); err != nil {
+		t.Fatal(err)
+	}
+	fd, err := OpenFileDataset(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	file, err := fd.SimilarPairs(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sigs, err := ComputeSignatures(d, cfg.K, cfg.Seed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sketch, err := SimilarPairsWithSignatures(d, sigs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prog, err := ProgressiveSimilarPairs(d, cfg, func(Progress) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, res := range map[string]*Result{"file": file, "sketch": sketch, "progressive": prog} {
+		if len(res.Pairs) != len(batch.Pairs) {
+			t.Fatalf("%s: %d pairs, batch %d", name, len(res.Pairs), len(batch.Pairs))
+		}
+		for i := range batch.Pairs {
+			if res.Pairs[i] != batch.Pairs[i] {
+				t.Fatalf("%s: pair %d differs", name, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package apriori
+
+import (
+	"errors"
+	"testing"
+)
+
+type erroringSource struct {
+	rows, cols, failAt int
+}
+
+var errInjected = errors.New("injected scan failure")
+
+func (e *erroringSource) NumRows() int { return e.rows }
+func (e *erroringSource) NumCols() int { return e.cols }
+func (e *erroringSource) Scan(fn func(int, []int32) error) error {
+	for r := 0; r < e.rows; r++ {
+		if r == e.failAt {
+			return errInjected
+		}
+		if err := fn(r, []int32{0, 1}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func TestMinePropagatesSourceErrorFirstPass(t *testing.T) {
+	src := &erroringSource{rows: 10, cols: 3, failAt: 2}
+	if _, err := Mine(src, Options{MinSupport: 0.1}); !errors.Is(err, errInjected) {
+		t.Errorf("err = %v, want injected error", err)
+	}
+}
+
+// laterFailSource fails only on the second Scan (the level-2 counting
+// pass), exercising error propagation from countSupports.
+type laterFailSource struct {
+	rows, cols int
+	scans      int
+}
+
+func (e *laterFailSource) NumRows() int { return e.rows }
+func (e *laterFailSource) NumCols() int { return e.cols }
+func (e *laterFailSource) Scan(fn func(int, []int32) error) error {
+	e.scans++
+	if e.scans >= 2 {
+		return errInjected
+	}
+	for r := 0; r < e.rows; r++ {
+		if err := fn(r, []int32{0, 1}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func TestMinePropagatesSourceErrorLaterPass(t *testing.T) {
+	src := &laterFailSource{rows: 10, cols: 3}
+	if _, err := Mine(src, Options{MinSupport: 0.1}); !errors.Is(err, errInjected) {
+		t.Errorf("err = %v, want injected error", err)
+	}
+}

@@ -1,0 +1,158 @@
+package apriori
+
+// The hash tree of Agrawal & Srikant's "Fast Algorithms for Mining
+// Association Rules" (the paper's reference [2]): candidates are stored
+// in a tree whose interior nodes hash on the item at their depth, so a
+// transaction's support-counting visit only descends into subtrees
+// reachable from its items. For large candidate sets this beats the
+// first-item index of countSupports, whose per-row cost is linear in
+// the candidates sharing a first item.
+
+const (
+	htLeafCapacity = 16  // split a leaf beyond this many candidates
+	htFanout       = 251 // hash buckets per interior node (prime)
+)
+
+type htNode struct {
+	// Leaf state: candidate indices (into the candidate slice).
+	leaf []int32
+	// Interior state: children by item hash; nil for leaves.
+	children []*htNode
+	depth    int
+}
+
+// hashTree indexes candidate itemsets for counting.
+type hashTree struct {
+	root *htNode
+	cand [][]int32
+	k    int
+}
+
+func newHashTree(cand [][]int32, k int) *hashTree {
+	t := &hashTree{root: &htNode{}, cand: cand, k: k}
+	for idx := range cand {
+		t.insert(t.root, int32(idx))
+	}
+	return t
+}
+
+func htBucket(item int32) int { return int(uint32(item)) % htFanout }
+
+func (t *hashTree) insert(n *htNode, idx int32) {
+	for {
+		if n.children == nil {
+			n.leaf = append(n.leaf, idx)
+			// Split when overfull, unless the depth already consumed
+			// every item position (duplicates of long prefixes).
+			if len(n.leaf) > htLeafCapacity && n.depth < t.k {
+				n.children = make([]*htNode, htFanout)
+				old := n.leaf
+				n.leaf = nil
+				for _, o := range old {
+					t.placeInChild(n, o)
+				}
+			}
+			return
+		}
+		n = t.childFor(n, idx)
+	}
+}
+
+func (t *hashTree) placeInChild(n *htNode, idx int32) {
+	c := t.childFor(n, idx)
+	c.leaf = append(c.leaf, idx)
+	if len(c.leaf) > htLeafCapacity && c.depth < t.k {
+		c.children = make([]*htNode, htFanout)
+		old := c.leaf
+		c.leaf = nil
+		for _, o := range old {
+			t.placeInChild(c, o)
+		}
+	}
+}
+
+func (t *hashTree) childFor(n *htNode, idx int32) *htNode {
+	item := t.cand[idx][n.depth]
+	b := htBucket(item)
+	if n.children[b] == nil {
+		n.children[b] = &htNode{depth: n.depth + 1}
+	}
+	return n.children[b]
+}
+
+// count walks the tree for one transaction (sorted items), incrementing
+// supports of contained candidates. The stamp array marks the
+// transaction's items for O(1) containment checks at leaves; lastTx
+// guards against counting a candidate twice when hash collisions lead
+// several descent paths to the same leaf.
+func (t *hashTree) count(row []int32, stamp []int32, mark int32, supports []int, lastTx []int32) {
+	if len(row) < t.k {
+		return
+	}
+	t.visit(t.root, row, stamp, mark, supports, lastTx)
+}
+
+func (t *hashTree) visit(n *htNode, remaining []int32, stamp []int32, mark int32, supports []int, lastTx []int32) {
+	if n.children == nil {
+		for _, idx := range n.leaf {
+			if lastTx[idx] == mark {
+				continue // already counted for this transaction
+			}
+			items := t.cand[idx]
+			ok := true
+			// The descent path matched items only by hash, so check all
+			// items against the stamp.
+			for _, it := range items {
+				if stamp[it] != mark {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				supports[idx]++
+				lastTx[idx] = mark
+			}
+		}
+		return
+	}
+	// Interior node at depth d: try every remaining item as the d-th
+	// item of a candidate. Candidates are sorted, so item i at depth d
+	// needs at least k-d-1 further items after it.
+	need := t.k - n.depth - 1
+	for i := 0; i+need < len(remaining); i++ {
+		b := htBucket(remaining[i])
+		if child := n.children[b]; child != nil {
+			t.visit(child, remaining[i+1:], stamp, mark, supports, lastTx)
+		}
+	}
+}
+
+// countSupportsHashTree is the hash-tree counting pass, equivalent to
+// countSupports.
+func countSupportsHashTree(src rowSource, cand [][]int32, k, numCols int) ([]int, error) {
+	tree := newHashTree(cand, k)
+	supports := make([]int, len(cand))
+	stamp := make([]int32, numCols)
+	lastTx := make([]int32, len(cand))
+	err := src.Scan(func(row int, cols []int32) error {
+		if len(cols) < k {
+			return nil
+		}
+		mark := int32(row + 1)
+		for _, c := range cols {
+			stamp[c] = mark
+		}
+		tree.count(cols, stamp, mark, supports, lastTx)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return supports, nil
+}
+
+// rowSource is the minimal scanning interface countSupportsHashTree
+// needs (satisfied by matrix.RowSource).
+type rowSource interface {
+	Scan(fn func(row int, cols []int32) error) error
+}

@@ -1,0 +1,134 @@
+package apriori
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"assocmine/internal/hashing"
+	"assocmine/internal/matrix"
+)
+
+// TestHashTreeMatchesIndexCounting: the hash tree must produce
+// identical frequent itemsets at every level.
+func TestHashTreeMatchesIndexCounting(t *testing.T) {
+	rng := hashing.NewSplitMix64(1)
+	b := matrix.NewBuilder(300, 30)
+	for c := 0; c < 30; c++ {
+		for r := 0; r < 300; r++ {
+			if rng.Float64() < 0.25 {
+				b.Set(r, c)
+			}
+		}
+	}
+	m := b.Build()
+	base, err := Mine(m.Stream(), Options{MinSupport: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := Mine(m.Stream(), Options{MinSupport: 0.1, UseHashTree: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Levels) != len(tree.Levels) {
+		t.Fatalf("level counts differ: %d vs %d", len(base.Levels), len(tree.Levels))
+	}
+	for lvl := range base.Levels {
+		if len(base.Levels[lvl]) != len(tree.Levels[lvl]) {
+			t.Fatalf("level %d: %d vs %d itemsets", lvl, len(base.Levels[lvl]), len(tree.Levels[lvl]))
+		}
+		for i := range base.Levels[lvl] {
+			a, b := base.Levels[lvl][i], tree.Levels[lvl][i]
+			if !reflect.DeepEqual(a.Items, b.Items) || a.Support != b.Support {
+				t.Fatalf("level %d itemset %d: %+v vs %+v", lvl, i, a, b)
+			}
+		}
+	}
+}
+
+// TestHashTreeNoDoubleCounting: a dense transaction with many items
+// hashing to the same buckets must count each candidate once.
+func TestHashTreeNoDoubleCounting(t *testing.T) {
+	// One transaction containing many items; all 3-subsets of the first
+	// 10 items as candidates. Each candidate's support must be exactly 1.
+	items := make([]int32, 40)
+	for i := range items {
+		items[i] = int32(i)
+	}
+	var cand [][]int32
+	for a := int32(0); a < 10; a++ {
+		for b := a + 1; b < 10; b++ {
+			for c := b + 1; c < 10; c++ {
+				cand = append(cand, []int32{a, b, c})
+			}
+		}
+	}
+	src := &matrix.SliceSource{Cols: 40, Rows: [][]int32{items}}
+	supports, err := countSupportsHashTree(src, cand, 3, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range supports {
+		if s != 1 {
+			t.Fatalf("candidate %v counted %d times", cand[i], s)
+		}
+	}
+}
+
+func TestHashTreeMissingItems(t *testing.T) {
+	cand := [][]int32{{0, 1}, {2, 3}, {0, 3}}
+	src := &matrix.SliceSource{Cols: 5, Rows: [][]int32{
+		{0, 1, 3}, // contains {0,1} and {0,3}
+		{2},       // too short
+		{2, 3, 4}, // contains {2,3}
+	}}
+	supports, err := countSupportsHashTree(src, cand, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 1, 1}
+	if !reflect.DeepEqual(supports, want) {
+		t.Fatalf("supports = %v, want %v", supports, want)
+	}
+}
+
+func TestQuickHashTreeEquivalence(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := hashing.NewSplitMix64(seed)
+		rows := 30 + rng.Intn(50)
+		b := matrix.NewBuilder(rows, 12)
+		for c := 0; c < 12; c++ {
+			for r := 0; r < rows; r++ {
+				if rng.Float64() < 0.3 {
+					b.Set(r, c)
+				}
+			}
+		}
+		m := b.Build()
+		base, err := Mine(m.Stream(), Options{MinSupport: 0.15, MaxLevel: 3})
+		if err != nil {
+			return false
+		}
+		tree, err := Mine(m.Stream(), Options{MinSupport: 0.15, MaxLevel: 3, UseHashTree: true})
+		if err != nil {
+			return false
+		}
+		if len(base.Levels) != len(tree.Levels) {
+			return false
+		}
+		for lvl := range base.Levels {
+			if len(base.Levels[lvl]) != len(tree.Levels[lvl]) {
+				return false
+			}
+			for i := range base.Levels[lvl] {
+				if base.Levels[lvl][i].Support != tree.Levels[lvl][i].Support {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

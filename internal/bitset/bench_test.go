@@ -1,0 +1,28 @@
+package bitset
+
+import "testing"
+
+func BenchmarkTest(b *testing.B) {
+	s := New(1 << 16)
+	for i := 0; i < 1<<16; i += 3 {
+		s.Set(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Test(i & (1<<16 - 1))
+	}
+}
+
+func BenchmarkAndCount(b *testing.B) {
+	x, y := New(1<<16), New(1<<16)
+	for i := 0; i < 1<<16; i += 3 {
+		x.Set(i)
+	}
+	for i := 0; i < 1<<16; i += 5 {
+		y.Set(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.AndCount(y)
+	}
+}

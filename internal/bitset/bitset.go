@@ -1,0 +1,104 @@
+// Package bitset provides a fixed-size dense bit vector. Hamming-LSH
+// uses it to represent columns inside the density window (1/t, (t-1)/t)
+// — such columns are at least 1/t dense, so a bitmap is both smaller
+// and faster to probe than a sorted index list.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Set is a fixed-capacity bit vector. The zero value is unusable; call
+// New.
+type Set struct {
+	n     int
+	words []uint64
+}
+
+// New returns a Set holding n bits, all zero.
+func New(n int) *Set {
+	if n < 0 {
+		panic(fmt.Sprintf("bitset: negative size %d", n))
+	}
+	return &Set{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// FromSorted builds a Set of n bits from sorted indices.
+func FromSorted(n int, idx []int32) *Set {
+	s := New(n)
+	for _, i := range idx {
+		s.Set(int(i))
+	}
+	return s
+}
+
+// Len returns the capacity in bits.
+func (s *Set) Len() int { return s.n }
+
+// Set turns bit i on. Panics when out of range.
+func (s *Set) Set(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, s.n))
+	}
+	s.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Clear turns bit i off.
+func (s *Set) Clear(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, s.n))
+	}
+	s.words[i>>6] &^= 1 << (uint(i) & 63)
+}
+
+// Test reports whether bit i is on.
+func (s *Set) Test(i int) bool {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, s.n))
+	}
+	return s.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	total := 0
+	for _, w := range s.words {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// AndCount returns |s ∩ o| for sets of equal capacity.
+func (s *Set) AndCount(o *Set) int {
+	if s.n != o.n {
+		panic("bitset: AndCount on sets of different sizes")
+	}
+	total := 0
+	for i, w := range s.words {
+		total += bits.OnesCount64(w & o.words[i])
+	}
+	return total
+}
+
+// OrInPlace sets s = s ∪ o for sets of equal capacity.
+func (s *Set) OrInPlace(o *Set) {
+	if s.n != o.n {
+		panic("bitset: OrInPlace on sets of different sizes")
+	}
+	for i := range s.words {
+		s.words[i] |= o.words[i]
+	}
+}
+
+// HammingDistance returns the number of positions where s and o differ.
+func (s *Set) HammingDistance(o *Set) int {
+	if s.n != o.n {
+		panic("bitset: HammingDistance on sets of different sizes")
+	}
+	total := 0
+	for i, w := range s.words {
+		total += bits.OnesCount64(w ^ o.words[i])
+	}
+	return total
+}

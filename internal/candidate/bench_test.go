@@ -1,0 +1,54 @@
+package candidate
+
+import (
+	"testing"
+
+	"assocmine/internal/hashing"
+	"assocmine/internal/kminhash"
+	"assocmine/internal/minhash"
+)
+
+func BenchmarkRowSortMH(b *testing.B) {
+	rng := hashing.NewSplitMix64(1)
+	m, _ := plantedMatrix(rng, 2000, 400)
+	sig, err := minhash.Compute(m.Stream(), 50, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := RowSortMH(sig, 0.4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHashCountMH(b *testing.B) {
+	rng := hashing.NewSplitMix64(1)
+	m, _ := plantedMatrix(rng, 2000, 400)
+	sig, err := minhash.Compute(m.Stream(), 50, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := HashCountMH(sig, 0.4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHashCountKMH(b *testing.B) {
+	rng := hashing.NewSplitMix64(1)
+	m, _ := plantedMatrix(rng, 2000, 400)
+	sk, err := kminhash.Compute(m.Stream(), 50, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := HashCountKMH(sk, KMHOptions{BiasedCutoff: 0.2, UnbiasedCutoff: 0.4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

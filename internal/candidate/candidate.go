@@ -1,0 +1,287 @@
+// Package candidate implements the second phase of the paper's
+// three-phase template: generating candidate column pairs from
+// in-memory signatures. It provides the two Section 3.1 algorithms —
+// Row-Sorting and Hash-Count — for MH signatures, the Hash-Count
+// variant for K-MH bottom-k sketches with the biased-then-unbiased
+// estimator cascade of Section 3.2, and a brute-force generator used as
+// a correctness oracle and ablation baseline.
+//
+// Both algorithms avoid the O(m²) cost of examining every pair: work is
+// proportional to the number of signature agreements, which is
+// O(k·S̄·m²) where S̄ is the (typically tiny) average pairwise
+// similarity. Both also use the paper's counter-reuse trick: one O(m)
+// counter array shared across columns, resetting only entries that were
+// actually touched.
+package candidate
+
+import (
+	"fmt"
+	"sort"
+
+	"assocmine/internal/kminhash"
+	"assocmine/internal/minhash"
+	"assocmine/internal/pairs"
+)
+
+// Stats reports the work a generation algorithm performed; the counter
+// increment count is the quantity the paper's running-time analysis
+// bounds.
+type Stats struct {
+	Increments int64 // counter increments (the O(k·S̄·m²) term)
+	Candidates int   // pairs emitted
+}
+
+// RowSortMH generates candidates from MH signatures by the Row-Sorting
+// algorithm: each signature row is sorted by value, grouping equal
+// min-hash values into runs; a pair is a candidate when it shares a run
+// in at least ceil(cutoff*k) rows. cutoff is the required agreement
+// fraction, typically (1-δ)s*.
+func RowSortMH(sig *minhash.Signatures, cutoff float64) ([]pairs.Scored, Stats, error) {
+	if cutoff <= 0 || cutoff > 1 {
+		return nil, Stats{}, fmt.Errorf("candidate: cutoff must be in (0,1], got %v", cutoff)
+	}
+	k, m := sig.K, sig.M
+	minAgree := ceilFrac(cutoff, k)
+
+	// Per signature row: columns sorted by min-hash value, each
+	// column's position in that order, and the [lo,hi) run bounds of
+	// each position.
+	sorted := make([][]int32, k)
+	pos := make([][]int32, k)
+	runLo := make([][]int32, k)
+	runHi := make([][]int32, k)
+	for l := 0; l < k; l++ {
+		order := make([]int32, m)
+		for c := range order {
+			order[c] = int32(c)
+		}
+		row := sig.Vals[l*m : (l+1)*m]
+		sort.Slice(order, func(a, b int) bool { return row[order[a]] < row[order[b]] })
+		p := make([]int32, m)
+		for idx, c := range order {
+			p[c] = int32(idx)
+		}
+		lo := make([]int32, m)
+		hi := make([]int32, m)
+		start := 0
+		for idx := 1; idx <= m; idx++ {
+			if idx == m || row[order[idx]] != row[order[start]] {
+				for q := start; q < idx; q++ {
+					lo[q], hi[q] = int32(start), int32(idx)
+				}
+				start = idx
+			}
+		}
+		sorted[l], pos[l], runLo[l], runHi[l] = order, p, lo, hi
+	}
+
+	var st Stats
+	counts := make([]int32, m)
+	touched := make([]int32, 0, 256)
+	var out []pairs.Scored
+	for i := 0; i < m; i++ {
+		for l := 0; l < k; l++ {
+			p := pos[l][i]
+			if sig.Vals[l*m+i] == minhash.Empty {
+				continue // runs of the empty sentinel are not matches
+			}
+			for q := runLo[l][p]; q < runHi[l][p]; q++ {
+				j := sorted[l][q]
+				if int(j) == i {
+					continue
+				}
+				if counts[j] == 0 {
+					touched = append(touched, j)
+				}
+				counts[j]++
+				st.Increments++
+			}
+		}
+		for _, j := range touched {
+			if int(counts[j]) >= minAgree && int(j) > i {
+				out = append(out, pairs.Scored{
+					Pair:     pairs.Make(int32(i), j),
+					Estimate: float64(counts[j]) / float64(k),
+				})
+			}
+			counts[j] = 0
+		}
+		touched = touched[:0]
+	}
+	st.Candidates = len(out)
+	return out, st, nil
+}
+
+// HashCountMH generates the same candidate set as RowSortMH using the
+// Hash-Count algorithm: one hash table of buckets per signature row,
+// keyed by min-hash value; columns are processed in index order, each
+// column counting agreements against the earlier columns already in its
+// buckets before joining them.
+func HashCountMH(sig *minhash.Signatures, cutoff float64) ([]pairs.Scored, Stats, error) {
+	if cutoff <= 0 || cutoff > 1 {
+		return nil, Stats{}, fmt.Errorf("candidate: cutoff must be in (0,1], got %v", cutoff)
+	}
+	k, m := sig.K, sig.M
+	minAgree := ceilFrac(cutoff, k)
+	buckets := make([]map[uint64][]int32, k)
+	for l := range buckets {
+		buckets[l] = make(map[uint64][]int32, m)
+	}
+	var st Stats
+	counts := make([]int32, m)
+	touched := make([]int32, 0, 256)
+	var out []pairs.Scored
+	for i := 0; i < m; i++ {
+		for l := 0; l < k; l++ {
+			v := sig.Vals[l*m+i]
+			if v == minhash.Empty {
+				continue
+			}
+			b := buckets[l][v]
+			for _, j := range b {
+				if counts[j] == 0 {
+					touched = append(touched, j)
+				}
+				counts[j]++
+				st.Increments++
+			}
+			buckets[l][v] = append(b, int32(i))
+		}
+		for _, j := range touched {
+			if int(counts[j]) >= minAgree {
+				out = append(out, pairs.Scored{
+					Pair:     pairs.Make(j, int32(i)),
+					Estimate: float64(counts[j]) / float64(k),
+				})
+			}
+			counts[j] = 0
+		}
+		touched = touched[:0]
+	}
+	st.Candidates = len(out)
+	return out, st, nil
+}
+
+// KMHOptions parameterises the K-MH candidate cascade of Section 3.2.
+type KMHOptions struct {
+	// BiasedCutoff is the similarity threshold applied to the cheap
+	// biased estimator computed from |SIG_i ∩ SIG_j| during Hash-Count.
+	// It should be set below the target threshold (the biased estimator
+	// under-counts for unequal column sizes) — typically (1-δ)s* with a
+	// generous δ.
+	BiasedCutoff float64
+	// UnbiasedCutoff is the threshold applied to the Theorem 2 unbiased
+	// estimator, computed only for pairs surviving the biased filter.
+	// Zero disables the second filter.
+	UnbiasedCutoff float64
+}
+
+// HashCountKMH runs Hash-Count over bottom-k sketches: one bucket per
+// observed min-hash value, accumulating |SIG_i ∩ SIG_j| for every pair
+// sharing at least one value, then applying the biased filter and the
+// unbiased Theorem 2 estimator to survivors. The returned Estimate is
+// the unbiased one.
+func HashCountKMH(s *kminhash.Sketches, opt KMHOptions) ([]pairs.Scored, Stats, error) {
+	if opt.BiasedCutoff <= 0 || opt.BiasedCutoff > 1 {
+		return nil, Stats{}, fmt.Errorf("candidate: biased cutoff must be in (0,1], got %v", opt.BiasedCutoff)
+	}
+	if opt.UnbiasedCutoff < 0 || opt.UnbiasedCutoff > 1 {
+		return nil, Stats{}, fmt.Errorf("candidate: unbiased cutoff must be in [0,1], got %v", opt.UnbiasedCutoff)
+	}
+	m := len(s.Sigs)
+	buckets := make(map[uint64][]int32, m*min(s.K, 8))
+	var st Stats
+	counts := make([]int32, m)
+	touched := make([]int32, 0, 256)
+	var out []pairs.Scored
+	for i := 0; i < m; i++ {
+		for _, v := range s.Sigs[i] {
+			b := buckets[v]
+			for _, j := range b {
+				if counts[j] == 0 {
+					touched = append(touched, j)
+				}
+				counts[j]++
+				st.Increments++
+			}
+			buckets[v] = append(b, int32(i))
+		}
+		for _, j := range touched {
+			if est := s.BiasedEstimateFromCount(int(j), i, int(counts[j])); est >= opt.BiasedCutoff {
+				unbiased := s.UnbiasedEstimate(int(j), i)
+				if unbiased >= opt.UnbiasedCutoff {
+					out = append(out, pairs.Scored{
+						Pair:     pairs.Make(j, int32(i)),
+						Estimate: unbiased,
+					})
+				}
+			}
+			counts[j] = 0
+		}
+		touched = touched[:0]
+	}
+	st.Candidates = len(out)
+	return out, st, nil
+}
+
+// BruteForceMH enumerates all column pairs against the MH agreement
+// threshold in O(k·m²). It is the oracle the faster generators are
+// tested against and the ablation baseline for the counter-reuse
+// benchmarks.
+func BruteForceMH(sig *minhash.Signatures, cutoff float64) ([]pairs.Scored, Stats, error) {
+	if cutoff <= 0 || cutoff > 1 {
+		return nil, Stats{}, fmt.Errorf("candidate: cutoff must be in (0,1], got %v", cutoff)
+	}
+	minAgree := ceilFrac(cutoff, sig.K)
+	var st Stats
+	var out []pairs.Scored
+	for i := 0; i < sig.M; i++ {
+		for j := i + 1; j < sig.M; j++ {
+			st.Increments += int64(sig.K)
+			if a := sig.Agreement(i, j); a >= minAgree {
+				out = append(out, pairs.Scored{
+					Pair:     pairs.Make(int32(i), int32(j)),
+					Estimate: float64(a) / float64(sig.K),
+				})
+			}
+		}
+	}
+	st.Candidates = len(out)
+	return out, st, nil
+}
+
+// BruteForceKMH enumerates all pairs with the Theorem 2 unbiased
+// estimator in O(k·m²); oracle for HashCountKMH's recall.
+func BruteForceKMH(s *kminhash.Sketches, cutoff float64) ([]pairs.Scored, Stats, error) {
+	if cutoff <= 0 || cutoff > 1 {
+		return nil, Stats{}, fmt.Errorf("candidate: cutoff must be in (0,1], got %v", cutoff)
+	}
+	m := len(s.Sigs)
+	var st Stats
+	var out []pairs.Scored
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			st.Increments += int64(s.K)
+			if est := s.UnbiasedEstimate(i, j); est >= cutoff {
+				out = append(out, pairs.Scored{
+					Pair:     pairs.Make(int32(i), int32(j)),
+					Estimate: est,
+				})
+			}
+		}
+	}
+	st.Candidates = len(out)
+	return out, st, nil
+}
+
+// ceilFrac returns max(1, ceil(cutoff*k)).
+func ceilFrac(cutoff float64, k int) int {
+	n := int(cutoff * float64(k))
+	if float64(n) < cutoff*float64(k) {
+		n++
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

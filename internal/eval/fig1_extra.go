@@ -1,0 +1,154 @@
+package eval
+
+import (
+	"fmt"
+
+	"assocmine"
+)
+
+// Fig1 reproduces the qualitative experiment of Section 2 / Fig. 1:
+// mining the news corpus for similar word pairs and recovering the
+// planted collocations and the word cluster, despite their very low
+// support.
+func Fig1(w *Workloads) (Table, error) {
+	res, err := assocmine.SimilarPairs(w.News.Data, assocmine.Config{
+		Algorithm: assocmine.MinHash, Threshold: 0.5, K: 150, Seed: 17,
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	plantedSet := map[[2]int]bool{}
+	for _, p := range w.News.PlantedPairs {
+		plantedSet[p] = true
+	}
+	clusterSet := map[int]bool{}
+	for _, c := range w.News.ClusterCols {
+		clusterSet[c] = true
+	}
+	t := Table{
+		ID:     "fig1",
+		Title:  "Similar word pairs mined from the news corpus (similarity >= 0.5)",
+		Header: []string{"word A", "word B", "similarity", "support A", "support B", "kind"},
+	}
+	foundPlanted, foundCluster := 0, 0
+	for _, p := range res.Pairs {
+		kind := "background"
+		if plantedSet[[2]int{p.I, p.J}] || plantedSet[[2]int{p.J, p.I}] {
+			kind = "planted collocation"
+			foundPlanted++
+		} else if clusterSet[p.I] && clusterSet[p.J] {
+			kind = "planted cluster"
+			foundCluster++
+		}
+		t.Rows = append(t.Rows, []string{
+			w.News.Word(p.I), w.News.Word(p.J),
+			fmt.Sprintf("%.3f", p.Similarity),
+			fmt.Sprintf("%.4f%%", 100*w.News.Data.Density(p.I)),
+			fmt.Sprintf("%.4f%%", 100*w.News.Data.Density(p.J)),
+			kind,
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("recovered %d/%d planted collocations and %d intra-cluster pairs; all supports are far below a-priori-friendly thresholds",
+			foundPlanted, len(w.News.PlantedPairs), foundCluster))
+	return t, nil
+}
+
+// SyntheticExperiment reproduces the Section 5 synthetic-data check:
+// every algorithm must recover the planted pairs in each similarity
+// band ("all algorithms behave similarly" on synthetic data).
+func SyntheticExperiment(w *Workloads) (Table, error) {
+	t := Table{
+		ID:     "synthetic",
+		Title:  "Planted-pair recall per similarity band on the synthetic data (cutoff 0.45)",
+		Header: []string{"algorithm", "band 45-55", "band 55-65", "band 65-75", "band 75-85", "band 85-95", "false pos"},
+		Notes:  []string{"recall = planted pairs found / planted in band; verification removes all false positives"},
+	}
+	bands := [][2]float64{{0.45, 0.55}, {0.55, 0.65}, {0.65, 0.75}, {0.75, 0.85}, {0.85, 0.95}}
+	const cutoff = 0.45
+	truth, err := NewGroundTruth(w.Syn.Matrix(), 0.1)
+	if err != nil {
+		return Table{}, err
+	}
+	configs := []assocmine.Config{
+		{Algorithm: assocmine.MinHash, Threshold: cutoff, K: 150, Seed: 5},
+		{Algorithm: assocmine.KMinHash, Threshold: cutoff, K: 150, Seed: 5},
+		{Algorithm: assocmine.MinLSH, Threshold: cutoff, K: 150, R: 3, L: 50, Seed: 5},
+		{Algorithm: assocmine.HammingLSH, Threshold: cutoff, R: 6, L: 20, Seed: 5},
+	}
+	for _, cfg := range configs {
+		res, err := assocmine.SimilarPairs(w.Syn, cfg)
+		if err != nil {
+			return Table{}, err
+		}
+		found := map[[2]int]bool{}
+		fp := 0
+		for _, p := range res.Pairs {
+			found[[2]int{p.I, p.J}] = true
+			if p.Similarity < cutoff {
+				fp++
+			}
+		}
+		row := []string{cfg.Algorithm.String()}
+		for _, band := range bands {
+			got, total := 0, 0
+			for _, pl := range w.SynPlanted {
+				s := w.Syn.Similarity(pl.I, pl.J)
+				if s < band[0] || s >= band[1] || s < cutoff {
+					continue
+				}
+				total++
+				if found[[2]int{pl.I, pl.J}] {
+					got++
+				}
+			}
+			if total == 0 {
+				row = append(row, "n/a")
+			} else {
+				row = append(row, fmt.Sprintf("%d/%d", got, total))
+			}
+		}
+		row = append(row, fmt.Sprintf("%d", fp))
+		t.Rows = append(t.Rows, row)
+	}
+	_ = truth
+	return t, nil
+}
+
+// RulesExperiment reproduces Section 6: high-confidence rule mining on
+// the news corpus; planted collocations must surface as (bidirectional)
+// high-confidence rules.
+func RulesExperiment(w *Workloads) (Table, error) {
+	res, err := assocmine.MineRules(w.News.Data, assocmine.RuleConfig{
+		MinConfidence: 0.75, K: 200, Seed: 23,
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	plantedSet := map[[2]int]bool{}
+	for _, p := range w.News.PlantedPairs {
+		plantedSet[p] = true
+		plantedSet[[2]int{p[1], p[0]}] = true
+	}
+	t := Table{
+		ID:     "rules",
+		Title:  "High-confidence rules without support (Section 6), confidence >= 0.75",
+		Header: []string{"rule", "confidence", "support(antecedent)", "planted?"},
+	}
+	foundPlanted := 0
+	for _, r := range res.Rules {
+		planted := plantedSet[[2]int{r.From, r.To}]
+		if planted {
+			foundPlanted++
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%s => %s", w.News.Word(r.From), w.News.Word(r.To)),
+			fmt.Sprintf("%.3f", r.Confidence),
+			fmt.Sprintf("%.4f%%", 100*w.News.Data.Density(r.From)),
+			fmt.Sprintf("%v", planted),
+		})
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("%d directed planted rules recovered out of %d candidate rules mined",
+		foundPlanted, len(res.Rules)))
+	return t, nil
+}

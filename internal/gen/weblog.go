@@ -1,0 +1,189 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"assocmine/internal/hashing"
+	"assocmine/internal/matrix"
+)
+
+// WebLogConfig models the paper's Sun Microsystems web-server log
+// (Section 5): rows are client IPs, columns are URLs, an entry is 1
+// when the client fetched the URL. The paper explains its similar pairs
+// as "URLs corresponding to gif images or Java applets which are loaded
+// automatically when a client IP accesses a parent URL" — the generator
+// reproduces exactly that mechanism: parent pages deterministically
+// co-fetch their embedded resources (minus a cache-miss rate), page
+// popularity is Zipf-distributed, and overall densities are far below
+// 1 percent, so the similarity histogram is L-shaped like Fig. 3.
+type WebLogConfig struct {
+	Clients int // rows
+	URLs    int // columns
+	// ParentPages is the number of pages carrying embedded resources.
+	// Defaults to URLs/20.
+	ParentPages int
+	// ResourcesPerPage bounds the embedded gif/applet count per parent
+	// page (inclusive). Defaults to [2, 5].
+	ResourcesPerPage [2]int
+	// ZipfS is the Zipf popularity exponent over pages. Defaults to 1.1.
+	ZipfS float64
+	// MeanVisits is the mean number of page visits per client
+	// (Poisson). Defaults to 8.
+	MeanVisits float64
+	// CacheMissRate is the probability an embedded resource is NOT
+	// fetched on a parent visit (browser cache), which keeps resource
+	// pair similarities below 1. Defaults to 0.05.
+	CacheMissRate float64
+	Seed          uint64
+}
+
+// WebLog holds a generated web-log dataset: the matrix plus the
+// embedded-resource groups (each group's columns are mutually
+// high-similarity by construction) and the parent page of each group.
+type WebLog struct {
+	Matrix *matrix.Matrix
+	// Groups lists, per parent page, the column indices of its
+	// embedded resources.
+	Groups [][]int32
+	// Parents lists the parent page column of each group.
+	Parents []int32
+}
+
+func (c *WebLogConfig) setDefaults() error {
+	if c.Clients <= 0 || c.URLs <= 0 {
+		return fmt.Errorf("gen: clients and URLs must be positive, got %dx%d", c.Clients, c.URLs)
+	}
+	if c.ParentPages == 0 {
+		c.ParentPages = c.URLs / 20
+		if c.ParentPages < 1 {
+			c.ParentPages = 1
+		}
+	}
+	if c.ResourcesPerPage == [2]int{} {
+		c.ResourcesPerPage = [2]int{2, 5}
+	}
+	if c.ResourcesPerPage[0] < 1 || c.ResourcesPerPage[0] > c.ResourcesPerPage[1] {
+		return fmt.Errorf("gen: bad ResourcesPerPage %v", c.ResourcesPerPage)
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = 1.1
+	}
+	if c.ZipfS <= 0 {
+		return fmt.Errorf("gen: ZipfS must be positive")
+	}
+	if c.MeanVisits == 0 {
+		c.MeanVisits = 8
+	}
+	if c.MeanVisits <= 0 {
+		return fmt.Errorf("gen: MeanVisits must be positive")
+	}
+	if c.CacheMissRate == 0 {
+		c.CacheMissRate = 0.05
+	}
+	if c.CacheMissRate < 0 || c.CacheMissRate >= 1 {
+		return fmt.Errorf("gen: CacheMissRate must be in [0,1)")
+	}
+	if c.ParentPages*(c.ResourcesPerPage[1]+1) > c.URLs {
+		return fmt.Errorf("gen: %d parent pages with up to %d resources need more than %d URLs",
+			c.ParentPages, c.ResourcesPerPage[1], c.URLs)
+	}
+	return nil
+}
+
+// GenerateWebLog builds the web-log dataset.
+func GenerateWebLog(cfg WebLogConfig) (*WebLog, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	rng := hashing.NewSplitMix64(cfg.Seed)
+
+	// Column layout: parents first, then their resources, then
+	// standalone pages.
+	next := 0
+	parents := make([]int32, cfg.ParentPages)
+	groups := make([][]int32, cfg.ParentPages)
+	for p := 0; p < cfg.ParentPages; p++ {
+		parents[p] = int32(next)
+		next++
+		nres := cfg.ResourcesPerPage[0]
+		if span := cfg.ResourcesPerPage[1] - cfg.ResourcesPerPage[0]; span > 0 {
+			nres += rng.Intn(span + 1)
+		}
+		for r := 0; r < nres && next < cfg.URLs; r++ {
+			groups[p] = append(groups[p], int32(next))
+			next++
+		}
+	}
+	standaloneStart := next
+
+	// Visitable pages: parents + standalones (resources are only
+	// fetched via their parent). Zipf weights over visitable pages,
+	// shuffled so popularity is independent of the column layout.
+	visitable := make([]int32, 0, cfg.ParentPages+(cfg.URLs-standaloneStart))
+	visitable = append(visitable, parents...)
+	for c := standaloneStart; c < cfg.URLs; c++ {
+		visitable = append(visitable, int32(c))
+	}
+	perm := rng.Perm(len(visitable))
+	cum := make([]float64, len(visitable))
+	total := 0.0
+	for i := range visitable {
+		total += 1 / math.Pow(float64(perm[i]+1), cfg.ZipfS)
+		cum[i] = total
+	}
+
+	groupOf := make(map[int32]int, cfg.ParentPages)
+	for p, parent := range parents {
+		groupOf[parent] = p
+	}
+
+	b := matrix.NewBuilder(cfg.Clients, cfg.URLs)
+	for client := 0; client < cfg.Clients; client++ {
+		visits := poisson(rng, cfg.MeanVisits)
+		for v := 0; v < visits; v++ {
+			page := visitable[searchCum(cum, rng.Float64()*total)]
+			b.Set(client, int(page))
+			if g, ok := groupOf[page]; ok {
+				for _, res := range groups[g] {
+					if rng.Float64() >= cfg.CacheMissRate {
+						b.Set(client, int(res))
+					}
+				}
+			}
+		}
+	}
+	return &WebLog{Matrix: b.Build(), Groups: groups, Parents: parents}, nil
+}
+
+// poisson samples a Poisson(lambda) variate (Knuth's method; fine for
+// the small lambdas used here).
+func poisson(rng *hashing.SplitMix64, lambda float64) int {
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 10000 {
+			return k // guard against pathological lambda
+		}
+	}
+}
+
+// searchCum returns the first index with cum[i] >= target.
+func searchCum(cum []float64, target float64) int {
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid] < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

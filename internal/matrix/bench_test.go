@@ -1,0 +1,65 @@
+package matrix
+
+import (
+	"bytes"
+	"testing"
+
+	"assocmine/internal/hashing"
+)
+
+func benchMatrix(b *testing.B) *Matrix {
+	b.Helper()
+	rng := hashing.NewSplitMix64(1)
+	return randomMatrix(rng, 10000, 300, 0.02)
+}
+
+func BenchmarkStreamScan(b *testing.B) {
+	m := benchMatrix(b)
+	src := m.Stream()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total := 0
+		_ = src.Scan(func(row int, cols []int32) error {
+			total += len(cols)
+			return nil
+		})
+	}
+}
+
+func BenchmarkIntersectSize(b *testing.B) {
+	m := benchMatrix(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.IntersectSize(i%300, (i+7)%300)
+	}
+}
+
+func BenchmarkFoldRows(b *testing.B) {
+	m := benchMatrix(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.FoldRows(hashing.NewSplitMix64(uint64(i)))
+	}
+}
+
+func BenchmarkWriteBinary(b *testing.B) {
+	m := benchMatrix(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteRowBinary(b *testing.B) {
+	m := benchMatrix(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteRowBinary(&buf, m.Stream()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

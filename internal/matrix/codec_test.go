@@ -1,0 +1,183 @@
+package matrix
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"assocmine/internal/hashing"
+)
+
+func TestTextRoundTrip(t *testing.T) {
+	m := paperExample()
+	var buf bytes.Buffer
+	if err := WriteText(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matricesEqual(m, got) {
+		t.Error("text round trip mismatch")
+	}
+}
+
+func TestTextFormatShape(t *testing.T) {
+	m := MustNew(2, [][]int32{{0}, {0, 1}})
+	var buf bytes.Buffer
+	if err := WriteText(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines: %q", len(lines), lines)
+	}
+	if lines[1] != "2 2" {
+		t.Errorf("dimension line = %q", lines[1])
+	}
+	if lines[2] != "0 1" || lines[3] != "1" {
+		t.Errorf("row lines = %q, %q", lines[2], lines[3])
+	}
+}
+
+func TestTextEmptyRows(t *testing.T) {
+	m := MustNew(3, [][]int32{{1}})
+	var buf bytes.Buffer
+	if err := WriteText(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matricesEqual(m, got) {
+		t.Error("matrix with empty rows did not round trip")
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := []string{
+		"",                                  // no header
+		"garbage\n1 1\n0\n",                 // bad header
+		"%%assocmine-matrix v1\nx y\n",      // bad dims
+		"%%assocmine-matrix v1\n-1 2\n",     // negative dims
+		"%%assocmine-matrix v1\n1 1\nzzz\n", // bad column token
+		"%%assocmine-matrix v1\n1 1\n5\n",   // column out of range
+		"%%assocmine-matrix v1\n2 1\n0\n",   // missing row line
+	}
+	for _, in := range cases {
+		if _, err := ReadText(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadText accepted %q", in)
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := hashing.NewSplitMix64(31)
+	for trial := 0; trial < 10; trial++ {
+		m := randomMatrix(rng, 100+trial*37, 17, 0.07)
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !matricesEqual(m, got) {
+			t.Fatalf("binary round trip mismatch on trial %d", trial)
+		}
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("XXXX"),
+		[]byte("AMX1"), // truncated after magic
+	}
+	for _, in := range cases {
+		if _, err := ReadBinary(bytes.NewReader(in)); err == nil {
+			t.Errorf("ReadBinary accepted %q", in)
+		}
+	}
+}
+
+func TestBinaryRejectsOversizedColumn(t *testing.T) {
+	m := MustNew(4, [][]int32{{0, 1, 2}})
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the column length byte (offset: 4 magic + 1 rows + 1 cols).
+	data := buf.Bytes()
+	data[6] = 200
+	if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+		t.Error("ReadBinary accepted column longer than row count")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	m := paperExample()
+	for _, name := range []string{"m.txt", "m.amx"} {
+		path := filepath.Join(dir, name)
+		if err := SaveFile(path, m); err != nil {
+			t.Fatalf("SaveFile(%s): %v", name, err)
+		}
+		got, err := LoadFile(path)
+		if err != nil {
+			t.Fatalf("LoadFile(%s): %v", name, err)
+		}
+		if !matricesEqual(m, got) {
+			t.Errorf("file round trip mismatch for %s", name)
+		}
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "nope.txt")); err == nil {
+		t.Error("LoadFile on missing file succeeded")
+	}
+}
+
+func TestQuickBinaryRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := hashing.NewSplitMix64(seed)
+		m := randomMatrix(rng, 1+rng.Intn(60), 1+rng.Intn(10), rng.Float64()*0.5)
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, m); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		return matricesEqual(m, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTextRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := hashing.NewSplitMix64(seed)
+		m := randomMatrix(rng, 1+rng.Intn(40), 1+rng.Intn(8), rng.Float64()*0.5)
+		var buf bytes.Buffer
+		if err := WriteText(&buf, m); err != nil {
+			return false
+		}
+		got, err := ReadText(&buf)
+		if err != nil {
+			return false
+		}
+		return matricesEqual(m, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,76 @@
+package matrix
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fuzz targets for the codecs: any input must either parse into a
+// valid matrix or return an error — never panic — and whatever parses
+// must re-encode and re-parse identically.
+
+func FuzzReadText(f *testing.F) {
+	var seed bytes.Buffer
+	_ = WriteText(&seed, paperExample())
+	f.Add(seed.Bytes())
+	f.Add([]byte(""))
+	f.Add([]byte(textHeader + "\n2 2\n0 1\n\n"))
+	f.Add([]byte(textHeader + "\n-1 -1\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadText(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteText(&out, m); err != nil {
+			t.Fatalf("re-encode of parsed matrix failed: %v", err)
+		}
+		m2, err := ReadText(&out)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if !matricesEqual(m, m2) {
+			t.Fatal("text codec not idempotent")
+		}
+	})
+}
+
+func FuzzReadBinary(f *testing.F) {
+	var seed bytes.Buffer
+	_ = WriteBinary(&seed, paperExample())
+	f.Add(seed.Bytes())
+	f.Add([]byte("AMX1"))
+	f.Add([]byte("AMX1\x02\x02\x01\x00\x01\x01"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteBinary(&out, m); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		m2, err := ReadBinary(&out)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if !matricesEqual(m, m2) {
+			t.Fatal("binary codec not idempotent")
+		}
+	})
+}
+
+func FuzzReadNamedTransactions(f *testing.F) {
+	f.Add("milk bread\nbeer milk\n")
+	f.Add("# comment\n\n")
+	f.Add("a a a\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		m, names, err := ReadNamedTransactions(bytes.NewReader([]byte(data)))
+		if err != nil {
+			return
+		}
+		if len(names) != m.NumCols() {
+			t.Fatalf("%d names for %d columns", len(names), m.NumCols())
+		}
+	})
+}

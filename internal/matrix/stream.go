@@ -1,0 +1,129 @@
+package matrix
+
+// RowSource models one-pass, row-at-a-time access to a dataset, the
+// access pattern available for large disk-resident tables. The paper's
+// phase-1 (signature computation) and phase-3 (candidate pruning)
+// algorithms are written against this interface and therefore never
+// assume random access to the data; only the small signature structures
+// live in "main memory".
+type RowSource interface {
+	// NumRows returns n.
+	NumRows() int
+	// NumCols returns m.
+	NumCols() int
+	// Scan performs one sequential pass, invoking fn once per row in
+	// order with the sorted column indices set in that row. The slice
+	// passed to fn is only valid for the duration of the call. Scan
+	// stops and returns the first error fn returns.
+	Scan(fn func(row int, cols []int32) error) error
+}
+
+// Stream returns a RowSource view of the matrix. The row-major
+// transpose is computed once, on first use, and cached.
+func (m *Matrix) Stream() RowSource {
+	return (*rowStream)(m)
+}
+
+type rowStream Matrix
+
+func (s *rowStream) NumRows() int { return s.rows }
+func (s *rowStream) NumCols() int { return len(s.cols) }
+
+func (s *rowStream) Scan(fn func(row int, cols []int32) error) error {
+	m := (*Matrix)(s)
+	m.rowMajorOnce.Do(m.buildRowMajor)
+	for r, cs := range m.rowMajor {
+		if err := fn(r, cs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *Matrix) buildRowMajor() {
+	counts := make([]int32, m.rows)
+	for _, col := range m.cols {
+		for _, r := range col {
+			counts[r]++
+		}
+	}
+	// Single backing array, sliced per row, to keep the transpose
+	// allocation-light even for millions of rows.
+	backing := make([]int32, m.Ones())
+	rowsOut := make([][]int32, m.rows)
+	off := 0
+	for r := 0; r < m.rows; r++ {
+		rowsOut[r] = backing[off : off : off+int(counts[r])]
+		off += int(counts[r])
+	}
+	for c, col := range m.cols {
+		for _, r := range col {
+			rowsOut[r] = append(rowsOut[r], int32(c))
+		}
+	}
+	// Columns were visited in increasing order, so each row is sorted.
+	m.rowMajor = rowsOut
+}
+
+// CountingSource wraps a RowSource and counts passes and rows
+// delivered, so experiments can report I/O-equivalent work.
+type CountingSource struct {
+	Src    RowSource
+	Passes int
+	Rows   int64
+}
+
+// NumRows implements RowSource.
+func (c *CountingSource) NumRows() int { return c.Src.NumRows() }
+
+// NumCols implements RowSource.
+func (c *CountingSource) NumCols() int { return c.Src.NumCols() }
+
+// Scan implements RowSource.
+func (c *CountingSource) Scan(fn func(row int, cols []int32) error) error {
+	c.Passes++
+	return c.Src.Scan(func(row int, cols []int32) error {
+		c.Rows++
+		return fn(row, cols)
+	})
+}
+
+// SliceSource is a RowSource over in-memory row-major data; rows[r]
+// must be sorted column indices. It is the cheapest way to feed
+// hand-written fixtures to streaming algorithms in tests.
+type SliceSource struct {
+	Cols int
+	Rows [][]int32
+}
+
+// NumRows implements RowSource.
+func (s *SliceSource) NumRows() int { return len(s.Rows) }
+
+// NumCols implements RowSource.
+func (s *SliceSource) NumCols() int { return s.Cols }
+
+// Scan implements RowSource.
+func (s *SliceSource) Scan(fn func(row int, cols []int32) error) error {
+	for r, cs := range s.Rows {
+		if err := fn(r, cs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Collect materialises a RowSource into a Matrix (one pass). It is the
+// inverse of (*Matrix).Stream.
+func Collect(src RowSource) (*Matrix, error) {
+	b := NewBuilder(src.NumRows(), src.NumCols())
+	err := src.Scan(func(row int, cols []int32) error {
+		for _, c := range cols {
+			b.Set(row, int(c))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,92 @@
+package matrix
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ReadNamedTransactions parses the classic market-basket interchange
+// format: one transaction per line, whitespace-separated item names
+// (arbitrary strings). It returns the matrix (rows = transactions,
+// columns = items in first-appearance order) and the item name of each
+// column. Blank lines are empty transactions; lines starting with '#'
+// are comments.
+func ReadNamedTransactions(r io.Reader) (*Matrix, []string, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	index := map[string]int32{}
+	var names []string
+	var rows [][]int32
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		var row []int32
+		for _, item := range strings.Fields(line) {
+			c, ok := index[item]
+			if !ok {
+				c = int32(len(names))
+				index[item] = c
+				names = append(names, item)
+			}
+			row = append(row, c)
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("matrix: reading transactions: %w", err)
+	}
+	m, err := FromRows(len(names), rows)
+	if err != nil {
+		return nil, nil, err
+	}
+	_ = lineNo
+	return m, names, nil
+}
+
+// WriteNamedTransactions writes the matrix in the named transaction
+// format using names[c] for column c.
+func WriteNamedTransactions(w io.Writer, m *Matrix, names []string) error {
+	if len(names) != m.NumCols() {
+		return fmt.Errorf("matrix: %d names for %d columns", len(names), m.NumCols())
+	}
+	for c, n := range names {
+		if strings.ContainsAny(n, " \t\r\n") || n == "" {
+			return fmt.Errorf("matrix: item name %q of column %d is empty or contains whitespace", n, c)
+		}
+	}
+	// Detect duplicate names: they would not round-trip.
+	{
+		sorted := append([]string(nil), names...)
+		sort.Strings(sorted)
+		for i := 1; i < len(sorted); i++ {
+			if sorted[i] == sorted[i-1] {
+				return fmt.Errorf("matrix: duplicate item name %q", sorted[i])
+			}
+		}
+	}
+	bw := bufio.NewWriter(w)
+	err := m.Stream().Scan(func(row int, cols []int32) error {
+		for i, c := range cols {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(names[c]); err != nil {
+				return err
+			}
+		}
+		return bw.WriteByte('\n')
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}

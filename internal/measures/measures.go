@@ -1,0 +1,145 @@
+// Package measures computes the similarity and interestingness
+// measures discussed in the paper. Besides the Jaccard similarity and
+// confidence the algorithms operate on, Section 1 notes that "several
+// recent papers [Brin et al.; Silverstein et al.] have expressed
+// dissatisfaction with the use of confidence ... and have suggested
+// various alternate measures. Our ideas are applicable to these new
+// measures as well" — every measure here is a function of the same four
+// sufficient statistics the verification pass already counts:
+// |C_i|, |C_j|, |C_i ∩ C_j| and n.
+package measures
+
+import (
+	"fmt"
+	"math"
+)
+
+// Counts are the sufficient statistics of a column pair.
+type Counts struct {
+	N     int // total rows
+	A     int // |C_i|
+	B     int // |C_j|
+	Inter int // |C_i ∩ C_j|
+}
+
+// Validate reports whether the counts are consistent.
+func (c Counts) Validate() error {
+	if c.N < 0 || c.A < 0 || c.B < 0 || c.Inter < 0 {
+		return fmt.Errorf("measures: negative count in %+v", c)
+	}
+	if c.A > c.N || c.B > c.N {
+		return fmt.Errorf("measures: column larger than row count in %+v", c)
+	}
+	if c.Inter > c.A || c.Inter > c.B {
+		return fmt.Errorf("measures: intersection exceeds a column in %+v", c)
+	}
+	if c.A+c.B-c.Inter > c.N {
+		return fmt.Errorf("measures: union exceeds row count in %+v", c)
+	}
+	return nil
+}
+
+// Union returns |C_i ∪ C_j|.
+func (c Counts) Union() int { return c.A + c.B - c.Inter }
+
+// Jaccard returns |C_i ∩ C_j| / |C_i ∪ C_j| — the paper's similarity.
+func (c Counts) Jaccard() float64 {
+	u := c.Union()
+	if u == 0 {
+		return 0
+	}
+	return float64(c.Inter) / float64(u)
+}
+
+// Confidence returns |C_i ∩ C_j| / |C_i| for the rule i => j.
+func (c Counts) Confidence() float64 {
+	if c.A == 0 {
+		return 0
+	}
+	return float64(c.Inter) / float64(c.A)
+}
+
+// Support returns |C_i ∩ C_j| / n, the classic support fraction.
+func (c Counts) Support() float64 {
+	if c.N == 0 {
+		return 0
+	}
+	return float64(c.Inter) / float64(c.N)
+}
+
+// Interest (also called lift) is P(i,j) / (P(i)·P(j)): 1 under
+// independence, > 1 for positive correlation, < 1 for anticorrelation.
+// This is the measure of Brin, Motwani, Ullman and Tsur's "Dynamic
+// Itemset Counting" paper the text cites.
+func (c Counts) Interest() float64 {
+	if c.A == 0 || c.B == 0 || c.N == 0 {
+		return 0
+	}
+	return float64(c.Inter) * float64(c.N) / (float64(c.A) * float64(c.B))
+}
+
+// Conviction is P(i)·P(¬j) / P(i,¬j): 1 under independence, +Inf for an
+// exceptionless rule i => j.
+func (c Counts) Conviction() float64 {
+	if c.N == 0 || c.A == 0 {
+		return 0
+	}
+	pNotJ := float64(c.N-c.B) / float64(c.N)
+	iNotJ := float64(c.A - c.Inter)
+	if iNotJ == 0 {
+		return math.Inf(1)
+	}
+	return float64(c.A) * pNotJ / iNotJ
+}
+
+// Cosine returns |C_i ∩ C_j| / sqrt(|C_i|·|C_j|), the vector cosine of
+// the two boolean columns.
+func (c Counts) Cosine() float64 {
+	if c.A == 0 || c.B == 0 {
+		return 0
+	}
+	return float64(c.Inter) / math.Sqrt(float64(c.A)*float64(c.B))
+}
+
+// Overlap returns |C_i ∩ C_j| / min(|C_i|, |C_j|) — the containment
+// coefficient; 1 when one column is a subset of the other.
+func (c Counts) Overlap() float64 {
+	m := c.A
+	if c.B < m {
+		m = c.B
+	}
+	if m == 0 {
+		return 0
+	}
+	return float64(c.Inter) / float64(m)
+}
+
+// ChiSquare returns the 2x2 contingency chi-squared statistic of the
+// pair — the dependence test of Silverstein, Brin and Motwani's
+// "Beyond Market Baskets" paper the text cites. Zero under exact
+// independence; large values reject independence.
+func (c Counts) ChiSquare() float64 {
+	n := float64(c.N)
+	if n == 0 {
+		return 0
+	}
+	// Observed 2x2 table.
+	o11 := float64(c.Inter)
+	o10 := float64(c.A - c.Inter)
+	o01 := float64(c.B - c.Inter)
+	o00 := n - float64(c.Union())
+	// Expected under independence.
+	pa, pb := float64(c.A)/n, float64(c.B)/n
+	e11 := n * pa * pb
+	e10 := n * pa * (1 - pb)
+	e01 := n * (1 - pa) * pb
+	e00 := n * (1 - pa) * (1 - pb)
+	chi := 0.0
+	for _, oe := range [][2]float64{{o11, e11}, {o10, e10}, {o01, e01}, {o00, e00}} {
+		if oe[1] > 0 {
+			d := oe[0] - oe[1]
+			chi += d * d / oe[1]
+		}
+	}
+	return chi
+}

@@ -1,0 +1,145 @@
+package measures
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	good := Counts{N: 10, A: 4, B: 5, Inter: 3}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Counts{
+		{N: -1},
+		{N: 10, A: 11},
+		{N: 10, A: 2, B: 2, Inter: 3},
+		{N: 10, A: 8, B: 8, Inter: 1}, // union 15 > 10
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad counts %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestKnownValues(t *testing.T) {
+	// n=100; A=20, B=10, inter=8.
+	c := Counts{N: 100, A: 20, B: 10, Inter: 8}
+	if got := c.Union(); got != 22 {
+		t.Errorf("Union = %d", got)
+	}
+	if got := c.Jaccard(); math.Abs(got-8.0/22) > 1e-12 {
+		t.Errorf("Jaccard = %v", got)
+	}
+	if got := c.Confidence(); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("Confidence = %v", got)
+	}
+	if got := c.Support(); math.Abs(got-0.08) > 1e-12 {
+		t.Errorf("Support = %v", got)
+	}
+	// Interest = 8*100/(20*10) = 4.
+	if got := c.Interest(); math.Abs(got-4) > 1e-12 {
+		t.Errorf("Interest = %v", got)
+	}
+	// Conviction = 20*(0.9)/12 = 1.5.
+	if got := c.Conviction(); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("Conviction = %v", got)
+	}
+	if got := c.Cosine(); math.Abs(got-8/math.Sqrt(200)) > 1e-12 {
+		t.Errorf("Cosine = %v", got)
+	}
+	if got := c.Overlap(); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("Overlap = %v", got)
+	}
+}
+
+func TestIndependencePoint(t *testing.T) {
+	// Exact independence: A=50, B=40 of 100, inter = 20.
+	c := Counts{N: 100, A: 50, B: 40, Inter: 20}
+	if got := c.Interest(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Interest at independence = %v", got)
+	}
+	if got := c.Conviction(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Conviction at independence = %v", got)
+	}
+	if got := c.ChiSquare(); got > 1e-9 {
+		t.Errorf("ChiSquare at independence = %v", got)
+	}
+}
+
+func TestExactRuleConviction(t *testing.T) {
+	c := Counts{N: 100, A: 10, B: 30, Inter: 10} // i => j exceptionless
+	if got := c.Conviction(); !math.IsInf(got, 1) {
+		t.Errorf("Conviction of exceptionless rule = %v", got)
+	}
+	if got := c.Overlap(); got != 1 {
+		t.Errorf("Overlap of contained column = %v", got)
+	}
+}
+
+func TestZeroGuards(t *testing.T) {
+	zero := Counts{}
+	if zero.Jaccard() != 0 || zero.Confidence() != 0 || zero.Support() != 0 ||
+		zero.Interest() != 0 || zero.Conviction() != 0 || zero.Cosine() != 0 ||
+		zero.Overlap() != 0 || zero.ChiSquare() != 0 {
+		t.Error("zero counts produced non-zero measures")
+	}
+}
+
+func TestChiSquarePerfectCorrelation(t *testing.T) {
+	// Identical columns: chi-square = n.
+	c := Counts{N: 100, A: 30, B: 30, Inter: 30}
+	if got := c.ChiSquare(); math.Abs(got-100) > 1e-9 {
+		t.Errorf("ChiSquare of identical columns = %v, want 100", got)
+	}
+}
+
+func TestQuickMeasureRanges(t *testing.T) {
+	f := func(nRaw, aRaw, bRaw, iRaw uint16) bool {
+		n := int(nRaw%500) + 1
+		a := int(aRaw) % (n + 1)
+		b := int(bRaw) % (n + 1)
+		maxI := a
+		if b < maxI {
+			maxI = b
+		}
+		minI := a + b - n
+		if minI < 0 {
+			minI = 0
+		}
+		if maxI < minI {
+			return true
+		}
+		inter := minI + int(iRaw)%(maxI-minI+1)
+		c := Counts{N: n, A: a, B: b, Inter: inter}
+		if err := c.Validate(); err != nil {
+			return false
+		}
+		j := c.Jaccard()
+		if j < 0 || j > 1 {
+			return false
+		}
+		conf := c.Confidence()
+		if conf < 0 || conf > 1 {
+			return false
+		}
+		cos := c.Cosine()
+		if cos < 0 || cos > 1+1e-12 {
+			return false
+		}
+		ov := c.Overlap()
+		if ov < 0 || ov > 1+1e-12 {
+			return false
+		}
+		if c.ChiSquare() < -1e-9 {
+			return false
+		}
+		// Jaccard <= Cosine <= Overlap (standard sandwich).
+		return j <= cos+1e-12 && cos <= ov+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,77 @@
+package minhash
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Signature persistence: the signature pass is the expensive phase on
+// large data (one full scan), so a production deployment computes
+// signatures once and reuses them across queries with different
+// thresholds or band layouts. The format is versioned and records the
+// seed so mismatched reuse is detectable by the caller.
+
+const sigMagic = "AMH1"
+
+// WriteTo serialises the signatures (magic, k, m, seed, then k·m
+// fixed-width values).
+func (s *Signatures) WriteTo(w io.Writer, seed uint64) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(sigMagic); err != nil {
+		return err
+	}
+	var hdr [24]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(s.K))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(s.M))
+	binary.LittleEndian.PutUint64(hdr[16:], seed)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var buf [8]byte
+	for _, v := range s.Vals {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSignatures parses a stream written by WriteTo, returning the
+// signatures and the recorded seed.
+func ReadSignatures(r io.Reader) (*Signatures, uint64, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(sigMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, 0, fmt.Errorf("minhash: reading magic: %w", err)
+	}
+	if string(magic) != sigMagic {
+		return nil, 0, fmt.Errorf("minhash: bad magic %q", magic)
+	}
+	var hdr [24]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, 0, fmt.Errorf("minhash: reading header: %w", err)
+	}
+	k := binary.LittleEndian.Uint64(hdr[0:])
+	m := binary.LittleEndian.Uint64(hdr[8:])
+	seed := binary.LittleEndian.Uint64(hdr[16:])
+	const maxDim = 1 << 31
+	if k == 0 || k > maxDim || m > maxDim {
+		return nil, 0, fmt.Errorf("minhash: implausible dimensions k=%d m=%d", k, m)
+	}
+	total := k * m
+	if total > (1 << 34) {
+		return nil, 0, fmt.Errorf("minhash: signature matrix too large: %d values", total)
+	}
+	s := &Signatures{K: int(k), M: int(m), Vals: make([]uint64, total)}
+	var buf [8]byte
+	for i := range s.Vals {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, 0, fmt.Errorf("minhash: reading value %d: %w", i, err)
+		}
+		s.Vals[i] = binary.LittleEndian.Uint64(buf[:])
+	}
+	return s, seed, nil
+}

@@ -1,0 +1,58 @@
+package minhash
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSignatureCodecRoundTrip(t *testing.T) {
+	m := paperExample()
+	sig, err := Compute(m.Stream(), 6, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sig.WriteTo(&buf, 42); err != nil {
+		t.Fatal(err)
+	}
+	got, seed, err := ReadSignatures(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seed != 42 {
+		t.Errorf("seed = %d", seed)
+	}
+	if got.K != sig.K || got.M != sig.M {
+		t.Fatalf("dims %dx%d", got.K, got.M)
+	}
+	for i := range sig.Vals {
+		if got.Vals[i] != sig.Vals[i] {
+			t.Fatalf("value %d differs", i)
+		}
+	}
+}
+
+func TestReadSignaturesErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("XXXX"),
+		[]byte("AMH1"), // truncated header
+		append([]byte("AMH1"), make([]byte, 24)...), // k = 0
+	}
+	for i, in := range cases {
+		if _, _, err := ReadSignatures(bytes.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	// Truncated values.
+	m := paperExample()
+	sig, _ := Compute(m.Stream(), 4, 1)
+	var buf bytes.Buffer
+	if err := sig.WriteTo(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-5]
+	if _, _, err := ReadSignatures(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated value section accepted")
+	}
+}

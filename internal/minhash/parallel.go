@@ -1,0 +1,69 @@
+package minhash
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"assocmine/internal/hashing"
+	"assocmine/internal/matrix"
+)
+
+// ComputeParallel computes the same signatures as Compute — bit for bit
+// — using the column-major matrix directly and sharding columns across
+// workers. Row hashes depend only on (seed, row), so the minimum over a
+// column's rows is identical however the work is split.
+//
+// It requires the materialised matrix (streaming sources cannot be
+// range-partitioned); pass workers <= 0 for GOMAXPROCS.
+func ComputeParallel(m *matrix.Matrix, k int, seed uint64, workers int) (*Signatures, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("minhash: k must be positive, got %d", k)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cols := m.NumCols()
+	sig := &Signatures{K: k, M: cols, Vals: make([]uint64, k*cols)}
+	for i := range sig.Vals {
+		sig.Vals[i] = Empty
+	}
+	hs := hashing.NewPermHashes(seed, k)
+
+	var wg sync.WaitGroup
+	chunk := (cols + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > cols {
+			hi = cols
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			// Per-worker scratch of row hashes is unnecessary: each
+			// (l, row) hash is recomputed per column. For very dense
+			// columns this recomputation is the price of the
+			// column-parallel strategy; the row-driven Compute
+			// amortises it instead.
+			for c := lo; c < hi; c++ {
+				col := m.Column(c)
+				for l := 0; l < k; l++ {
+					minVal := Empty
+					h := hs[l]
+					for _, r := range col {
+						if v := h.Row(int(r)); v < minVal {
+							minVal = v
+						}
+					}
+					sig.Vals[l*cols+c] = minVal
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return sig, nil
+}

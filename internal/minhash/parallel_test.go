@@ -1,0 +1,75 @@
+package minhash
+
+import (
+	"testing"
+
+	"assocmine/internal/hashing"
+	"assocmine/internal/matrix"
+)
+
+func TestComputeParallelMatchesSerial(t *testing.T) {
+	rng := hashing.NewSplitMix64(1)
+	b := matrix.NewBuilder(500, 60)
+	for c := 0; c < 60; c++ {
+		for r := 0; r < 500; r++ {
+			if rng.Float64() < 0.08 {
+				b.Set(r, c)
+			}
+		}
+	}
+	m := b.Build()
+	const k, seed = 16, 99
+	serial, err := Compute(m.Stream(), k, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 13, 0} {
+		par, err := ComputeParallel(m, k, seed, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if par.K != serial.K || par.M != serial.M {
+			t.Fatalf("workers=%d: dims differ", workers)
+		}
+		for i := range serial.Vals {
+			if serial.Vals[i] != par.Vals[i] {
+				t.Fatalf("workers=%d: value %d differs: %x vs %x",
+					workers, i, serial.Vals[i], par.Vals[i])
+			}
+		}
+	}
+}
+
+func TestComputeParallelValidates(t *testing.T) {
+	m := matrix.MustNew(2, [][]int32{{0}})
+	if _, err := ComputeParallel(m, 0, 1, 2); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestComputeParallelEmptyMatrix(t *testing.T) {
+	m := matrix.MustNew(0, [][]int32{{}, {}})
+	sig, err := ComputeParallel(m, 4, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range sig.Vals {
+		if v != Empty {
+			t.Fatal("empty matrix produced non-sentinel values")
+		}
+	}
+}
+
+func TestComputeParallelMoreWorkersThanColumns(t *testing.T) {
+	m := matrix.MustNew(4, [][]int32{{0, 2}, {1}})
+	serial, _ := Compute(m.Stream(), 8, 7)
+	par, err := ComputeParallel(m, 8, 7, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial.Vals {
+		if serial.Vals[i] != par.Vals[i] {
+			t.Fatal("mismatch with workers > columns")
+		}
+	}
+}

@@ -1,0 +1,245 @@
+// Package rules implements the extension of Section 6 — mining
+// high-confidence association rules c_i => c_j without any support
+// requirement — and the composite-rule machinery of Section 7
+// (disjunctive consequents via OR-composed signatures, conjunctive
+// consequents via the cardinality argument).
+//
+// The key identity is
+//
+//	conf(c_i => c_j) = |C_i ∩ C_j| / |C_i| = S(c_i,c_j) · |C_i ∪ C_j| / |C_i|,
+//
+// and Pr[h(c_i) <= h(c_j)] = |C_i| / |C_i ∪ C_j| for a random row-order
+// hash h, so both factors are estimable from the same min-hash matrix:
+// confidence ≈ (agreement fraction) / (<= fraction).
+package rules
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"assocmine/internal/matrix"
+	"assocmine/internal/minhash"
+	"assocmine/internal/pairs"
+)
+
+// Rule is a directed candidate rule From => To with estimated and
+// (after verification) exact confidence.
+type Rule struct {
+	From, To int32
+	Estimate float64 // signature-based confidence estimate
+	Exact    float64 // verified confidence; set by Verify
+}
+
+// Options configures candidate-rule generation.
+type Options struct {
+	// MinConfidence is the confidence threshold.
+	MinConfidence float64
+	// MinAgreement discards pairs agreeing on fewer min-hash values
+	// (both estimator numerator and denominator are noisy for tiny
+	// agreement counts). Defaults to 2 when zero.
+	MinAgreement int
+}
+
+func (o *Options) validate() error {
+	if o.MinConfidence <= 0 || o.MinConfidence > 1 {
+		return fmt.Errorf("rules: MinConfidence must be in (0,1], got %v", o.MinConfidence)
+	}
+	if o.MinAgreement == 0 {
+		o.MinAgreement = 2
+	}
+	if o.MinAgreement < 0 {
+		return fmt.Errorf("rules: MinAgreement must be non-negative")
+	}
+	return nil
+}
+
+// Candidates runs the extended Row-Sorting estimation of Section 6 over
+// an MH signature matrix: for every ordered pair it maintains both the
+// agreement count and the h(c_i) <= h(c_j) count, estimating confidence
+// as their ratio. As the paper notes, this enumeration is O(k·m²); the
+// agreement pre-filter keeps the emitted set small.
+func Candidates(sig *minhash.Signatures, opt Options) ([]Rule, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	var out []Rule
+	colI := make([]uint64, sig.K)
+	colJ := make([]uint64, sig.K)
+	for i := 0; i < sig.M; i++ {
+		sig.Column(i, colI)
+		if allEmpty(colI) {
+			continue
+		}
+		for j := 0; j < sig.M; j++ {
+			if i == j {
+				continue
+			}
+			sig.Column(j, colJ)
+			agree, le := 0, 0
+			for l := 0; l < sig.K; l++ {
+				vi, vj := colI[l], colJ[l]
+				if vi == minhash.Empty {
+					continue
+				}
+				if vi == vj {
+					agree++
+				}
+				if vi <= vj {
+					le++
+				}
+			}
+			if agree < opt.MinAgreement || le == 0 {
+				continue
+			}
+			conf := float64(agree) / float64(le)
+			if conf > 1 {
+				conf = 1
+			}
+			if conf >= opt.MinConfidence {
+				out = append(out, Rule{From: int32(i), To: int32(j), Estimate: conf})
+			}
+		}
+	}
+	sortRules(out)
+	return out, nil
+}
+
+func allEmpty(vals []uint64) bool {
+	for _, v := range vals {
+		if v != minhash.Empty {
+			return false
+		}
+	}
+	return true
+}
+
+// HighConfidenceCandidates implements the alternate technique the paper
+// suggests for conf ≈ 1: (a) any pair with Ŝ >= minConf is a candidate
+// in both directions (S lower-bounds both confidences), and (b) a pair
+// with Ŝ ≈ |C_i|/|C_j| (within tol) is a candidate for c_i => c_j,
+// since conf(c_i => c_j) ≈ 1 forces S ≈ |C_i|/|C_j|. colSizes must hold
+// the exact column cardinalities (known from the signature pass).
+func HighConfidenceCandidates(sig *minhash.Signatures, colSizes []int, minConf, tol float64) ([]Rule, error) {
+	if len(colSizes) != sig.M {
+		return nil, fmt.Errorf("rules: colSizes has %d entries for %d columns", len(colSizes), sig.M)
+	}
+	if minConf <= 0 || minConf > 1 {
+		return nil, fmt.Errorf("rules: minConf must be in (0,1], got %v", minConf)
+	}
+	if tol < 0 || tol >= 1 {
+		return nil, fmt.Errorf("rules: tol must be in [0,1), got %v", tol)
+	}
+	var out []Rule
+	for i := 0; i < sig.M; i++ {
+		if colSizes[i] == 0 {
+			continue
+		}
+		for j := 0; j < sig.M; j++ {
+			if i == j || colSizes[j] == 0 {
+				continue
+			}
+			s := sig.Estimate(i, j)
+			if s >= minConf {
+				out = append(out, Rule{From: int32(i), To: int32(j), Estimate: s})
+				continue
+			}
+			ratio := float64(colSizes[i]) / float64(colSizes[j])
+			if ratio <= 1 && s > 0 && math.Abs(s-ratio) <= tol {
+				out = append(out, Rule{From: int32(i), To: int32(j), Estimate: s / ratio * 1})
+			}
+		}
+	}
+	sortRules(out)
+	return out, nil
+}
+
+// Verify makes one pass over the data computing the exact confidence of
+// each candidate rule and keeps those meeting minConf. Both |C_i ∩ C_j|
+// and |C_i| are counted in the same pass.
+func Verify(src matrix.RowSource, cand []Rule, minConf float64) ([]Rule, error) {
+	if minConf <= 0 || minConf > 1 {
+		return nil, fmt.Errorf("rules: minConf must be in (0,1], got %v", minConf)
+	}
+	m := src.NumCols()
+	// Deduplicate the undirected pairs behind the directed rules.
+	set := pairs.NewSet(len(cand))
+	for _, r := range cand {
+		if r.From == r.To || r.From < 0 || r.To < 0 || int(r.From) >= m || int(r.To) >= m {
+			return nil, fmt.Errorf("rules: invalid rule %d => %d", r.From, r.To)
+		}
+		set.Add(r.From, r.To)
+	}
+	ps := set.Slice()
+	pairsOf := make([][]int32, m)
+	for idx, p := range ps {
+		pairsOf[p.I] = append(pairsOf[p.I], int32(idx))
+		pairsOf[p.J] = append(pairsOf[p.J], int32(idx))
+	}
+	inter := make([]int32, len(ps))
+	lastRow := make([]int32, len(ps))
+	for i := range lastRow {
+		lastRow[i] = -1
+	}
+	colSize := make([]int32, m)
+	err := src.Scan(func(row int, cols []int32) error {
+		r := int32(row)
+		for _, c := range cols {
+			colSize[c]++
+			for _, idx := range pairsOf[c] {
+				if lastRow[idx] == r {
+					inter[idx]++
+				} else {
+					lastRow[idx] = r
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	interOf := make(map[pairs.Pair]int32, len(ps))
+	for idx, p := range ps {
+		interOf[p] = inter[idx]
+	}
+	var out []Rule
+	seen := map[[2]int32]bool{}
+	for _, r := range cand {
+		key := [2]int32{r.From, r.To}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if colSize[r.From] == 0 {
+			continue
+		}
+		conf := float64(interOf[pairs.Make(r.From, r.To)]) / float64(colSize[r.From])
+		if conf >= minConf {
+			r.Exact = conf
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Exact != out[b].Exact {
+			return out[a].Exact > out[b].Exact
+		}
+		if out[a].From != out[b].From {
+			return out[a].From < out[b].From
+		}
+		return out[a].To < out[b].To
+	})
+	return out, nil
+}
+
+func sortRules(rs []Rule) {
+	sort.Slice(rs, func(a, b int) bool {
+		if rs[a].Estimate != rs[b].Estimate {
+			return rs[a].Estimate > rs[b].Estimate
+		}
+		if rs[a].From != rs[b].From {
+			return rs[a].From < rs[b].From
+		}
+		return rs[a].To < rs[b].To
+	})
+}

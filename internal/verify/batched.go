@@ -1,0 +1,38 @@
+package verify
+
+import (
+	"fmt"
+
+	"assocmine/internal/matrix"
+	"assocmine/internal/pairs"
+)
+
+// ExactBatched is Exact with a cap on the number of candidate pairs
+// whose counters are resident at once. When the candidate set exceeds
+// maxResident, verification runs in ceil(n/maxResident) sequential
+// passes over the data — the multi-pass fallback the paper alludes to
+// ("as long as the number of false positives is not too large (i.e.,
+// all of the candidates can fit in main memory)... but one could also
+// achieve it by making multiple passes over the data").
+func ExactBatched(src matrix.RowSource, cand []pairs.Scored, threshold float64, maxResident int) ([]pairs.Scored, Stats, error) {
+	if maxResident <= 0 {
+		return nil, Stats{}, fmt.Errorf("verify: maxResident must be positive, got %d", maxResident)
+	}
+	var out []pairs.Scored
+	var total Stats
+	total.In = len(cand)
+	for lo := 0; lo < len(cand); lo += maxResident {
+		hi := lo + maxResident
+		if hi > len(cand) {
+			hi = len(cand)
+		}
+		batch, st, err := Exact(src, cand[lo:hi], threshold)
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		out = append(out, batch...)
+		total.Touches += st.Touches
+	}
+	total.Out = len(out)
+	return out, total, nil
+}

@@ -1,0 +1,105 @@
+package verify
+
+import (
+	"errors"
+	"testing"
+
+	"assocmine/internal/hashing"
+	"assocmine/internal/matrix"
+	"assocmine/internal/pairs"
+)
+
+func TestExactBatchedMatchesExact(t *testing.T) {
+	rng := hashing.NewSplitMix64(1)
+	m := randomMatrix(rng, 200, 25, 0.15)
+	var cand []pairs.Scored
+	for i := int32(0); i < 25; i++ {
+		for j := i + 1; j < 25; j++ {
+			cand = append(cand, pairs.Scored{Pair: pairs.Pair{I: i, J: j}})
+		}
+	}
+	want, _, err := Exact(m.Stream(), cand, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, maxResident := range []int{1, 7, 50, 10000} {
+		got, st, err := ExactBatched(m.Stream(), cand, 0.1, maxResident)
+		if err != nil {
+			t.Fatalf("maxResident=%d: %v", maxResident, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("maxResident=%d: %d pairs, want %d", maxResident, len(got), len(want))
+		}
+		wm := map[pairs.Pair]float64{}
+		for _, p := range want {
+			wm[p.Pair] = p.Exact
+		}
+		for _, p := range got {
+			if wm[p.Pair] != p.Exact {
+				t.Fatalf("maxResident=%d: pair %+v differs", maxResident, p)
+			}
+		}
+		if st.In != len(cand) || st.Out != len(want) {
+			t.Errorf("maxResident=%d: stats %+v", maxResident, st)
+		}
+	}
+}
+
+func TestExactBatchedCountsPasses(t *testing.T) {
+	m := matrix.MustNew(3, [][]int32{{0, 1}, {0, 1}, {1, 2}, {2}})
+	cand := []pairs.Scored{
+		{Pair: pairs.Pair{I: 0, J: 1}},
+		{Pair: pairs.Pair{I: 1, J: 2}},
+		{Pair: pairs.Pair{I: 2, J: 3}},
+	}
+	cs := &matrix.CountingSource{Src: m.Stream()}
+	if _, _, err := ExactBatched(cs, cand, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if cs.Passes != 2 {
+		t.Errorf("passes = %d, want 2 (3 candidates, 2 resident)", cs.Passes)
+	}
+}
+
+func TestExactBatchedValidation(t *testing.T) {
+	m := matrix.MustNew(1, [][]int32{{0}})
+	if _, _, err := ExactBatched(m.Stream(), nil, 0.5, 0); err == nil {
+		t.Error("maxResident=0 accepted")
+	}
+	bad := []pairs.Scored{{Pair: pairs.Pair{I: 0, J: 9}}}
+	if _, _, err := ExactBatched(m.Stream(), bad, 0.5, 10); err == nil {
+		t.Error("invalid candidate accepted")
+	}
+}
+
+// erroringSource fails mid-scan to exercise error propagation.
+type erroringSource struct {
+	rows, cols, failAt int
+}
+
+var errInjected = errors.New("injected scan failure")
+
+func (e *erroringSource) NumRows() int { return e.rows }
+func (e *erroringSource) NumCols() int { return e.cols }
+func (e *erroringSource) Scan(fn func(int, []int32) error) error {
+	for r := 0; r < e.rows; r++ {
+		if r == e.failAt {
+			return errInjected
+		}
+		if err := fn(r, []int32{0}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func TestExactPropagatesSourceError(t *testing.T) {
+	src := &erroringSource{rows: 10, cols: 2, failAt: 5}
+	cand := []pairs.Scored{{Pair: pairs.Pair{I: 0, J: 1}}}
+	if _, _, err := Exact(src, cand, 0.5); !errors.Is(err, errInjected) {
+		t.Errorf("err = %v, want injected", err)
+	}
+	if _, _, err := ExactBatched(src, cand, 0.5, 1); !errors.Is(err, errInjected) {
+		t.Errorf("batched err = %v, want injected", err)
+	}
+}

@@ -1,0 +1,36 @@
+package verify
+
+import (
+	"testing"
+
+	"assocmine/internal/hashing"
+	"assocmine/internal/pairs"
+)
+
+func BenchmarkExact(b *testing.B) {
+	rng := hashing.NewSplitMix64(1)
+	m := randomMatrix(rng, 5000, 300, 0.02)
+	var cand []pairs.Scored
+	for i := int32(0); i < 300; i += 3 {
+		for j := i + 1; j < 300; j += 7 {
+			cand = append(cand, pairs.Scored{Pair: pairs.Make(i, j)})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Exact(m.Stream(), cand, 0.3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAllPairs(b *testing.B) {
+	rng := hashing.NewSplitMix64(1)
+	m := randomMatrix(rng, 5000, 300, 0.02)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AllPairs(m, 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+// Package verify implements the third phase shared by all the paper's
+// algorithms: a final pass over the original data that, for each
+// candidate column pair, counts the rows with a 1 in at least one of
+// the two columns and the rows with a 1 in both, yielding the exact
+// similarity and eliminating every false positive.
+//
+// It also provides the exact all-pairs ground truth the experiments
+// compare against ("computed in an offline fashion by a brute-force
+// counting algorithm", Section 5.1).
+package verify
+
+import (
+	"fmt"
+
+	"assocmine/internal/matrix"
+	"assocmine/internal/pairs"
+)
+
+// Stats reports verification work.
+type Stats struct {
+	In      int   // candidate pairs checked
+	Out     int   // pairs surviving the threshold
+	Touches int64 // per-row pair-counter updates
+}
+
+// Exact performs the pruning pass: one scan of src maintaining, for
+// each candidate pair, |C_i ∪ C_j| and |C_i ∩ C_j| counters. It
+// returns the candidates with exact similarity >= threshold, with the
+// Exact field filled in (and the incoming Estimate preserved). The
+// candidate list is not modified.
+func Exact(src matrix.RowSource, cand []pairs.Scored, threshold float64) ([]pairs.Scored, Stats, error) {
+	if threshold < 0 || threshold > 1 {
+		return nil, Stats{}, fmt.Errorf("verify: threshold must be in [0,1], got %v", threshold)
+	}
+	st := Stats{In: len(cand)}
+	if len(cand) == 0 {
+		return nil, st, nil
+	}
+	m := src.NumCols()
+	// pairsOf[c] lists indices of candidates with c as an endpoint.
+	pairsOf := make([][]int32, m)
+	for idx, p := range cand {
+		if int(p.I) >= m || int(p.J) >= m || p.I < 0 || p.J < 0 {
+			return nil, Stats{}, fmt.Errorf("verify: candidate %d references column out of range: (%d,%d)", idx, p.I, p.J)
+		}
+		if p.I == p.J {
+			return nil, Stats{}, fmt.Errorf("verify: candidate %d is a self pair (%d,%d)", idx, p.I, p.J)
+		}
+		pairsOf[p.I] = append(pairsOf[p.I], int32(idx))
+		pairsOf[p.J] = append(pairsOf[p.J], int32(idx))
+	}
+	either := make([]int32, len(cand))
+	both := make([]int32, len(cand))
+	lastRow := make([]int32, len(cand))
+	for i := range lastRow {
+		lastRow[i] = -1
+	}
+	err := src.Scan(func(row int, cols []int32) error {
+		r := int32(row)
+		for _, c := range cols {
+			for _, idx := range pairsOf[c] {
+				st.Touches++
+				if lastRow[idx] == r {
+					// Second endpoint seen in this row.
+					both[idx]++
+				} else {
+					lastRow[idx] = r
+					either[idx]++
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	var out []pairs.Scored
+	for idx, p := range cand {
+		if either[idx] == 0 {
+			continue
+		}
+		s := float64(both[idx]) / float64(either[idx])
+		if s >= threshold {
+			p.Exact = s
+			out = append(out, p)
+		}
+	}
+	st.Out = len(out)
+	return out, st, nil
+}
+
+// ExactPairs is Exact for bare pairs (no estimates attached).
+func ExactPairs(src matrix.RowSource, cand []pairs.Pair, threshold float64) ([]pairs.Scored, Stats, error) {
+	scored := make([]pairs.Scored, len(cand))
+	for i, p := range cand {
+		scored[i] = pairs.Scored{Pair: p}
+	}
+	return Exact(src, scored, threshold)
+}
+
+// AllPairs computes the exact set of column pairs with similarity >=
+// threshold by brute-force counting. It exploits sparsity: for each
+// row, every pair of columns co-occurring in that row gets an
+// intersection increment, so the cost is O(Σ_rows |row|²) rather than
+// O(m²·n). Pairs with empty intersection can never pass a positive
+// threshold and are never materialised.
+func AllPairs(m *matrix.Matrix, threshold float64) ([]pairs.Scored, error) {
+	return AllPairsSource(m.Stream(), threshold)
+}
+
+// AllPairsSource is AllPairs over any one-pass row source; column sizes
+// are accumulated in the same pass, so the whole computation is a
+// single sequential scan.
+func AllPairsSource(src matrix.RowSource, threshold float64) ([]pairs.Scored, error) {
+	if threshold <= 0 || threshold > 1 {
+		return nil, fmt.Errorf("verify: AllPairs threshold must be in (0,1], got %v", threshold)
+	}
+	inter := make(map[uint64]int32, 1024)
+	colSize := make([]int32, src.NumCols())
+	err := src.Scan(func(row int, cols []int32) error {
+		for i := 0; i < len(cols); i++ {
+			colSize[cols[i]]++
+			for j := i + 1; j < len(cols); j++ {
+				inter[uint64(uint32(cols[i]))<<32|uint64(uint32(cols[j]))]++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []pairs.Scored
+	for key, cnt := range inter {
+		i := int32(key >> 32)
+		j := int32(key & 0xffffffff)
+		union := int(colSize[i]) + int(colSize[j]) - int(cnt)
+		s := float64(cnt) / float64(union)
+		if s >= threshold {
+			out = append(out, pairs.Scored{Pair: pairs.Pair{I: i, J: j}, Estimate: s, Exact: s})
+		}
+	}
+	pairs.SortScored(out)
+	return out, nil
+}
+
+// CountInRanges buckets exact pair similarities into the half-open
+// ranges [edges[i], edges[i+1]), returning one count per range. Used to
+// build the Fig. 3 histograms and the denominators of the S-curves.
+func CountInRanges(ps []pairs.Scored, edges []float64) []int {
+	counts := make([]int, len(edges)-1)
+	for _, p := range ps {
+		for b := 0; b+1 < len(edges); b++ {
+			if p.Exact >= edges[b] && (p.Exact < edges[b+1] || (b+2 == len(edges) && p.Exact <= edges[b+1])) {
+				counts[b]++
+				break
+			}
+		}
+	}
+	return counts
+}

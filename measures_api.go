@@ -1,0 +1,56 @@
+package assocmine
+
+import (
+	"fmt"
+
+	"assocmine/internal/measures"
+)
+
+// Measures reports every interestingness measure of a column pair from
+// its exact counts. The paper's algorithms all reduce to the same four
+// statistics (|C_i|, |C_j|, |C_i ∩ C_j|, n), so any of these measures
+// can screen the verified candidate pairs — the Section 1 point that
+// the techniques apply to the alternate measures of interest proposed
+// in the literature (lift/interest, conviction, chi-squared).
+type Measures struct {
+	N, SizeI, SizeJ, Intersection, Union int
+
+	Jaccard    float64 // the paper's similarity
+	Confidence float64 // conf(i => j)
+	Support    float64 // classic support of {i, j}
+	Interest   float64 // lift: 1 = independent
+	Conviction float64 // +Inf = exceptionless rule i => j
+	Cosine     float64
+	Overlap    float64 // containment coefficient
+	ChiSquare  float64 // 2x2 dependence statistic
+}
+
+// PairMeasures computes all measures for columns i and j exactly.
+func PairMeasures(d *Dataset, i, j int) (Measures, error) {
+	if i < 0 || i >= d.NumCols() || j < 0 || j >= d.NumCols() {
+		return Measures{}, fmt.Errorf("assocmine: column out of range: (%d,%d) of %d", i, j, d.NumCols())
+	}
+	if i == j {
+		return Measures{}, fmt.Errorf("assocmine: self pair (%d,%d)", i, j)
+	}
+	c := measures.Counts{
+		N:     d.NumRows(),
+		A:     d.ColumnSize(i),
+		B:     d.ColumnSize(j),
+		Inter: d.m.IntersectSize(i, j),
+	}
+	if err := c.Validate(); err != nil {
+		return Measures{}, err
+	}
+	return Measures{
+		N: c.N, SizeI: c.A, SizeJ: c.B, Intersection: c.Inter, Union: c.Union(),
+		Jaccard:    c.Jaccard(),
+		Confidence: c.Confidence(),
+		Support:    c.Support(),
+		Interest:   c.Interest(),
+		Conviction: c.Conviction(),
+		Cosine:     c.Cosine(),
+		Overlap:    c.Overlap(),
+		ChiSquare:  c.ChiSquare(),
+	}, nil
+}

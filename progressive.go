@@ -1,0 +1,106 @@
+package assocmine
+
+import (
+	"fmt"
+	"time"
+
+	"assocmine/internal/lsh"
+	"assocmine/internal/minhash"
+	"assocmine/internal/pairs"
+	"assocmine/internal/verify"
+)
+
+// Progress describes one band of a progressive Min-LSH run.
+type Progress struct {
+	// Band is the 0-based index of the band just processed; Bands is
+	// the total.
+	Band, Bands int
+	// Fresh holds the newly discovered pairs of this band, verified
+	// exactly (Similarity filled, pairs below threshold already
+	// removed).
+	Fresh []Pair
+	// TotalFound is the number of verified pairs accumulated so far.
+	TotalFound int
+}
+
+// ProgressiveSimilarPairs runs Min-LSH band by band, delivering each
+// band's newly found (and exactly verified) pairs to fn as they
+// surface — the online framework of Section 4: each band cuts the
+// remaining false negatives by a fixed factor, the most similar pairs
+// tend to appear first, and the user can stop at any time by returning
+// false from fn. The pairs accumulated up to the stop are returned.
+//
+// cfg.Algorithm must be MinLSH (or zero, which is treated as MinLSH
+// here); cfg.K must be at least R*L.
+func ProgressiveSimilarPairs(d *Dataset, cfg Config, fn func(Progress) bool) (*Result, error) {
+	if cfg.Algorithm != MinLSH && cfg.Algorithm != BruteForce {
+		return nil, fmt.Errorf("assocmine: progressive mining requires MinLSH, got %v", cfg.Algorithm)
+	}
+	cfg.Algorithm = MinLSH
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	if cfg.K < cfg.R*cfg.L {
+		return nil, fmt.Errorf("assocmine: progressive mining needs K >= R*L (%d >= %d)", cfg.K, cfg.R*cfg.L)
+	}
+	if fn == nil {
+		return nil, fmt.Errorf("assocmine: progressive mining requires a callback")
+	}
+	st := Stats{Algorithm: MinLSH}
+	start := time.Now()
+	sig, err := minhash.Compute(d.m.Stream(), cfg.K, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	st.SignatureTime = time.Since(start)
+
+	var all []Pair
+	var innerErr error
+	verifyPasses := 0
+	_, _, err = lsh.OnlineCandidates(sig, cfg.R, cfg.L, func(band int, fresh []pairs.Pair) bool {
+		vstart := time.Now()
+		if len(fresh) > 0 {
+			verifyPasses++ // ExactPairs scans the data only for non-empty batches
+		}
+		verified, _, err := verify.ExactPairs(d.m.Stream(), fresh, cfg.Threshold)
+		st.VerifyTime += time.Since(vstart)
+		if err != nil {
+			innerErr = err
+			return false
+		}
+		st.Candidates += len(fresh)
+		batch := toPairs(verified, true)
+		all = append(all, batch...)
+		return fn(Progress{
+			Band:       band,
+			Bands:      cfg.L,
+			Fresh:      batch,
+			TotalFound: len(all),
+		})
+	})
+	if innerErr != nil {
+		return nil, innerErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	st.CandidateTime = time.Since(start) - st.SignatureTime - st.VerifyTime
+	st.Verified = len(all)
+	st.DataPasses = 1 + verifyPasses // signature pass + per-band verify passes
+	st.RowsScanned = int64(st.DataPasses) * int64(d.NumRows())
+	sortPairsBySimilarity(all)
+	return &Result{Pairs: all, Stats: st}, nil
+}
+
+func sortPairsBySimilarity(ps []Pair) {
+	// Insertion-friendly sizes are typical; use the pairs package
+	// ordering via a conversion to keep one canonical sort.
+	scored := make([]pairs.Scored, len(ps))
+	for i, p := range ps {
+		scored[i] = pairs.Scored{Pair: pairs.Make(int32(p.I), int32(p.J)), Estimate: p.Estimate, Exact: p.Similarity}
+	}
+	pairs.SortScored(scored)
+	for i, s := range scored {
+		ps[i] = Pair{I: int(s.I), J: int(s.J), Estimate: s.Estimate, Similarity: s.Exact}
+	}
+}

@@ -1,0 +1,190 @@
+package assocmine
+
+import (
+	"fmt"
+	"time"
+
+	"assocmine/internal/matrix"
+	"assocmine/internal/minhash"
+	"assocmine/internal/rules"
+)
+
+// Rule is a directed high-confidence association rule From => To
+// (Section 6: association rules without support pruning).
+type Rule struct {
+	From, To int
+	// Estimate is the signature-based confidence estimate.
+	Estimate float64
+	// Confidence is the exact verified confidence.
+	Confidence float64
+}
+
+// OrRule is a disjunctive rule From => To[0] ∨ To[1] (Section 7).
+type OrRule struct {
+	From     int
+	To       [2]int
+	Estimate float64
+	// Similarity is the exact verified similarity between the
+	// antecedent and the OR of the consequents.
+	Similarity float64
+}
+
+// AndRule is a conjunctive rule From => To[0] ∧ To[1] (Section 7).
+type AndRule struct {
+	From     int
+	To       [2]int
+	Estimate float64
+}
+
+// RuleConfig controls MineRules.
+type RuleConfig struct {
+	// MinConfidence is the confidence threshold. Required, in (0,1].
+	MinConfidence float64
+	// K is the number of min-hash values; default 200 (confidence
+	// estimation needs a bigger sketch than similarity, as Section 6
+	// notes).
+	K int
+	// Delta loosens the candidate filter: candidates need estimated
+	// confidence >= (1-Delta)*MinConfidence. Default 0.3.
+	Delta float64
+	// Seed drives hashing.
+	Seed uint64
+	// SkipVerify skips the exact confidence pass.
+	SkipVerify bool
+}
+
+func (c *RuleConfig) setDefaults() error {
+	if c.MinConfidence <= 0 || c.MinConfidence > 1 {
+		return fmt.Errorf("assocmine: MinConfidence must be in (0,1], got %v", c.MinConfidence)
+	}
+	if c.K == 0 {
+		c.K = 200
+	}
+	if c.K < 1 {
+		return fmt.Errorf("assocmine: K must be positive, got %d", c.K)
+	}
+	if c.Delta == 0 {
+		c.Delta = 0.3
+	}
+	if c.Delta < 0 || c.Delta >= 1 {
+		return fmt.Errorf("assocmine: Delta must be in [0,1), got %v", c.Delta)
+	}
+	return nil
+}
+
+// RulesResult is the output of MineRules.
+type RulesResult struct {
+	Rules []Rule
+	Stats Stats
+}
+
+// MineRules finds all rules c_i => c_j with confidence >=
+// cfg.MinConfidence, regardless of support, using min-hash confidence
+// estimation (Section 6) followed by exact verification.
+func MineRules(d *Dataset, cfg RuleConfig) (*RulesResult, error) {
+	return mineRules(d.m.Stream(), cfg)
+}
+
+// MineRules mines rules straight from the file: one sequential pass for
+// the signature sketch, one for exact confidence verification.
+func (f *FileDataset) MineRules(cfg RuleConfig) (*RulesResult, error) {
+	return mineRules(f.src, cfg)
+}
+
+func mineRules(src matrix.RowSource, cfg RuleConfig) (*RulesResult, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	st := Stats{Algorithm: MinHash}
+	start := time.Now()
+	sig, err := minhash.Compute(src, cfg.K, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	st.SignatureTime = time.Since(start)
+
+	start = time.Now()
+	cand, err := rules.Candidates(sig, rules.Options{
+		MinConfidence: (1 - cfg.Delta) * cfg.MinConfidence,
+	})
+	if err != nil {
+		return nil, err
+	}
+	st.CandidateTime = time.Since(start)
+	st.Candidates = len(cand)
+
+	if cfg.SkipVerify {
+		out := make([]Rule, len(cand))
+		for i, r := range cand {
+			out[i] = Rule{From: int(r.From), To: int(r.To), Estimate: r.Estimate}
+		}
+		return &RulesResult{Rules: out, Stats: st}, nil
+	}
+	start = time.Now()
+	verified, err := rules.Verify(src, cand, cfg.MinConfidence)
+	if err != nil {
+		return nil, err
+	}
+	st.VerifyTime = time.Since(start)
+	st.Verified = len(verified)
+	out := make([]Rule, len(verified))
+	for i, r := range verified {
+		out[i] = Rule{From: int(r.From), To: int(r.To), Estimate: r.Estimate, Confidence: r.Exact}
+	}
+	return &RulesResult{Rules: out, Stats: st}, nil
+}
+
+// OrRules finds disjunctive rules c_i => c_j ∨ c_j2 (Section 7). The
+// consequent pairs tried for each antecedent come from shortlist; use
+// the consequents of verified single rules or of similar pairs.
+func OrRules(d *Dataset, shortlist map[int][]int, minSim float64, k int, seed uint64) ([]OrRule, error) {
+	if k == 0 {
+		k = 200
+	}
+	sig, err := minhash.Compute(d.m.Stream(), k, seed)
+	if err != nil {
+		return nil, err
+	}
+	conv := make(map[int32][]int32, len(shortlist))
+	for from, tos := range shortlist {
+		lst := make([]int32, len(tos))
+		for i, t := range tos {
+			lst[i] = int32(t)
+		}
+		conv[int32(from)] = lst
+	}
+	ors, err := rules.OrCandidates(sig, conv, minSim)
+	if err != nil {
+		return nil, err
+	}
+	verified, err := rules.VerifyOrRules(d.m, ors, minSim)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]OrRule, len(verified))
+	for i, r := range verified {
+		out[i] = OrRule{
+			From: int(r.From), To: [2]int{int(r.To[0]), int(r.To[1])},
+			Estimate: r.Estimate, Similarity: r.Exact,
+		}
+	}
+	return out, nil
+}
+
+// AndRules derives conjunctive rules c_i => c_j ∧ c_j2 from verified
+// single rules (Section 7's cardinality construction).
+func AndRules(verified []Rule, minConf float64) ([]AndRule, error) {
+	conv := make([]rules.Rule, len(verified))
+	for i, r := range verified {
+		conv[i] = rules.Rule{From: int32(r.From), To: int32(r.To), Estimate: r.Estimate, Exact: r.Confidence}
+	}
+	ands, err := rules.AndCandidates(conv, minConf)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]AndRule, len(ands))
+	for i, r := range ands {
+		out[i] = AndRule{From: int(r.From), To: [2]int{int(r.To[0]), int(r.To[1])}, Estimate: r.Estimate}
+	}
+	return out, nil
+}

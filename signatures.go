@@ -1,0 +1,137 @@
+package assocmine
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"assocmine/internal/candidate"
+	"assocmine/internal/lsh"
+	"assocmine/internal/minhash"
+	"assocmine/internal/pairs"
+	"assocmine/internal/verify"
+)
+
+// Signatures is a precomputed min-hash sketch of a dataset. Computing
+// signatures is the expensive full-scan phase; a precomputed sketch can
+// be persisted and reused across queries with different thresholds or
+// MinLSH band layouts (any R, L with R*L <= K), paying only the cheap
+// in-memory candidate phase plus one verification pass per query.
+type Signatures struct {
+	sig  *minhash.Signatures
+	seed uint64
+}
+
+// ComputeSignatures runs the phase-1 scan once. workers > 1
+// parallelises it (bit-identical results).
+func ComputeSignatures(d *Dataset, k int, seed uint64, workers int) (*Signatures, error) {
+	var (
+		sig *minhash.Signatures
+		err error
+	)
+	if workers > 1 || workers < 0 {
+		sig, err = minhash.ComputeParallel(d.m, k, seed, workers)
+	} else {
+		sig, err = minhash.Compute(d.m.Stream(), k, seed)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Signatures{sig: sig, seed: seed}, nil
+}
+
+// K returns the number of min-hash values per column.
+func (s *Signatures) K() int { return s.sig.K }
+
+// NumCols returns the number of columns sketched.
+func (s *Signatures) NumCols() int { return s.sig.M }
+
+// Seed returns the seed the sketch was computed with.
+func (s *Signatures) Seed() uint64 { return s.seed }
+
+// Estimate returns the sketch similarity estimate for columns i and j.
+func (s *Signatures) Estimate(i, j int) float64 { return s.sig.Estimate(i, j) }
+
+// Save persists the sketch to path.
+func (s *Signatures) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = s.sig.WriteTo(f, s.seed)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// LoadSignatures reads a sketch written by Save.
+func LoadSignatures(path string) (*Signatures, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sig, seed, err := minhash.ReadSignatures(f)
+	if err != nil {
+		return nil, err
+	}
+	return &Signatures{sig: sig, seed: seed}, nil
+}
+
+// SimilarPairsWithSignatures answers a similar-pairs query from a
+// precomputed sketch, skipping the signature pass entirely. Supported
+// algorithms: MinHash (Row-Sorting over the sketch) and MinLSH (banding
+// over the sketch; requires R*L <= the sketch's K). Verification still
+// makes one pass over d.
+func SimilarPairsWithSignatures(d *Dataset, s *Signatures, cfg Config) (*Result, error) {
+	if s.sig.M != d.NumCols() {
+		return nil, fmt.Errorf("assocmine: sketch covers %d columns, dataset has %d", s.sig.M, d.NumCols())
+	}
+	cfg.K = s.sig.K
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	st := Stats{Algorithm: cfg.Algorithm}
+	var cand []pairs.Scored
+	start := time.Now()
+	switch cfg.Algorithm {
+	case MinHash:
+		cutoff := (1 - cfg.Delta) * cfg.Threshold
+		var err error
+		cand, _, err = candidate.RowSortMH(s.sig, cutoff)
+		if err != nil {
+			return nil, err
+		}
+	case MinLSH:
+		if s.sig.K < cfg.R*cfg.L {
+			return nil, fmt.Errorf("assocmine: sketch K=%d cannot host %d bands of %d rows", s.sig.K, cfg.L, cfg.R)
+		}
+		set, _, err := lsh.Candidates(s.sig, cfg.R, cfg.L)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range set.Slice() {
+			cand = append(cand, pairs.Scored{Pair: p})
+		}
+	default:
+		return nil, fmt.Errorf("assocmine: precomputed signatures support MinHash and MinLSH, got %v", cfg.Algorithm)
+	}
+	st.CandidateTime = time.Since(start)
+	st.Candidates = len(cand)
+	if cfg.SkipVerify {
+		pairs.SortScored(cand)
+		return &Result{Pairs: toPairs(cand, false), Stats: st}, nil
+	}
+	start = time.Now()
+	verified, _, err := verify.Exact(d.m.Stream(), cand, cfg.Threshold)
+	if err != nil {
+		return nil, err
+	}
+	st.VerifyTime = time.Since(start)
+	st.Verified = len(verified)
+	st.DataPasses = 1
+	st.RowsScanned = int64(d.NumRows())
+	pairs.SortScored(verified)
+	return &Result{Pairs: toPairs(verified, true), Stats: st}, nil
+}

@@ -1,0 +1,48 @@
+package assocmine
+
+import "testing"
+
+// TestDataPassAccounting verifies the I/O accounting matches the
+// paper's pass structure: signature phase = 1 pass, verification = 1
+// pass; brute force = 1 pass; a-priori = 1 pass per level.
+func TestDataPassAccounting(t *testing.T) {
+	d, _ := plantedDataset(t)
+	cases := []struct {
+		cfg        Config
+		wantPasses int
+	}{
+		{Config{Algorithm: BruteForce, Threshold: 0.5}, 1},
+		{Config{Algorithm: MinHash, Threshold: 0.5, K: 30, Seed: 1}, 2},
+		{Config{Algorithm: KMinHash, Threshold: 0.5, K: 30, Seed: 1}, 2},
+		{Config{Algorithm: MinLSH, Threshold: 0.5, K: 30, R: 3, L: 10, Seed: 1}, 2},
+	}
+	for _, c := range cases {
+		res, err := SimilarPairs(d, c.cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", c.cfg.Algorithm, err)
+		}
+		if res.Stats.DataPasses != c.wantPasses {
+			t.Errorf("%v: DataPasses = %d, want %d", c.cfg.Algorithm, res.Stats.DataPasses, c.wantPasses)
+		}
+		wantRows := int64(c.wantPasses) * int64(d.NumRows())
+		if res.Stats.RowsScanned != wantRows {
+			t.Errorf("%v: RowsScanned = %d, want %d", c.cfg.Algorithm, res.Stats.RowsScanned, wantRows)
+		}
+	}
+	// SkipVerify: one pass fewer.
+	res, err := SimilarPairs(d, Config{Algorithm: MinHash, Threshold: 0.5, K: 30, Seed: 1, SkipVerify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.DataPasses != 1 {
+		t.Errorf("SkipVerify MinHash passes = %d, want 1", res.Stats.DataPasses)
+	}
+	// Apriori: 1 pass per mined level.
+	res, err = SimilarPairs(d, Config{Algorithm: Apriori, Threshold: 0.5, MinSupport: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.DataPasses < 1 || res.Stats.DataPasses > 3 {
+		t.Errorf("Apriori passes = %d, want 1..3 (levels)", res.Stats.DataPasses)
+	}
+}

@@ -1,0 +1,53 @@
+package assocmine
+
+import (
+	"fmt"
+)
+
+// TopPairs returns the n most similar column pairs without requiring
+// the caller to guess a threshold: it runs the configured algorithm at
+// cfg.Threshold and, when fewer than n pairs clear it, geometrically
+// lowers the threshold and re-queries until n pairs are found or the
+// floor is hit. cfg.Threshold acts as the starting point (default 0.9);
+// minThreshold bounds the search from below (default 0.05 — below
+// that, the near-zero mass makes "top pairs" meaningless on sparse
+// data).
+//
+// With a precomputed-signature-friendly algorithm (MinHash, MinLSH)
+// each retry reuses nothing but is still cheap; pair the call with
+// ComputeSignatures/SimilarPairsWithSignatures when the dataset is
+// large and the threshold is expected to drop several times.
+func TopPairs(d *Dataset, n int, cfg Config, minThreshold float64) ([]Pair, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("assocmine: TopPairs needs n > 0, got %d", n)
+	}
+	if minThreshold == 0 {
+		minThreshold = 0.05
+	}
+	if minThreshold < 0 || minThreshold > 1 {
+		return nil, fmt.Errorf("assocmine: minThreshold must be in (0,1], got %v", minThreshold)
+	}
+	if cfg.Threshold == 0 {
+		cfg.Threshold = 0.9
+	}
+	if cfg.Threshold < minThreshold {
+		return nil, fmt.Errorf("assocmine: starting threshold %v below floor %v", cfg.Threshold, minThreshold)
+	}
+	for {
+		res, err := SimilarPairs(d, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if len(res.Pairs) >= n {
+			return res.Pairs[:n], nil
+		}
+		if cfg.Threshold <= minThreshold {
+			// Floor reached: return everything found.
+			return res.Pairs, nil
+		}
+		cfg.Threshold *= 0.7
+		if cfg.Threshold < minThreshold {
+			cfg.Threshold = minThreshold
+		}
+	}
+}

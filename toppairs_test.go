@@ -1,0 +1,88 @@
+package assocmine
+
+import "testing"
+
+func TestTopPairsReturnsExactlyN(t *testing.T) {
+	d, _ := plantedDataset(t)
+	for _, n := range []int{1, 5, 15} {
+		got, err := TopPairs(d, n, Config{Algorithm: BruteForce}, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != n {
+			t.Fatalf("n=%d: got %d pairs", n, len(got))
+		}
+		// Sorted by decreasing similarity.
+		for i := 1; i < len(got); i++ {
+			if got[i].Similarity > got[i-1].Similarity {
+				t.Fatalf("n=%d: not sorted", n)
+			}
+		}
+	}
+}
+
+func TestTopPairsMatchesGroundTruthOrder(t *testing.T) {
+	d, _ := plantedDataset(t)
+	top, err := TopPairs(d, 3, Config{Algorithm: BruteForce}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The top pair must be a maximum-similarity pair overall (checked
+	// against a low-threshold brute-force sweep).
+	all, err := SimilarPairs(d, Config{Algorithm: BruteForce, Threshold: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all.Pairs) == 0 {
+		t.Fatal("no pairs at floor")
+	}
+	if top[0].Similarity != all.Pairs[0].Similarity {
+		t.Errorf("top pair sim %v, global max %v", top[0].Similarity, all.Pairs[0].Similarity)
+	}
+}
+
+func TestTopPairsFloorReturnsWhatExists(t *testing.T) {
+	// Only one pair exists at all.
+	d, err := NewDatasetFromColumns(6, [][]int{
+		{0, 1, 2}, {0, 1, 2}, {3}, {4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := TopPairs(d, 10, Config{Algorithm: BruteForce}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("got %d pairs, want the 1 that exists", len(got))
+	}
+}
+
+func TestTopPairsValidation(t *testing.T) {
+	d, _ := NewDatasetFromRows(2, [][]int{{0}, {1}})
+	if _, err := TopPairs(d, 0, Config{Algorithm: BruteForce}, 0.1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := TopPairs(d, 1, Config{Algorithm: BruteForce}, 1.5); err == nil {
+		t.Error("bad floor accepted")
+	}
+	if _, err := TopPairs(d, 1, Config{Algorithm: BruteForce, Threshold: 0.01}, 0.5); err == nil {
+		t.Error("threshold below floor accepted")
+	}
+}
+
+func TestTopPairsWithLSH(t *testing.T) {
+	d, _ := plantedDataset(t)
+	got, err := TopPairs(d, 5, Config{Algorithm: MinLSH, K: 100, R: 4, L: 25, Seed: 3}, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("got %d pairs", len(got))
+	}
+	for _, p := range got {
+		if p.Similarity < 0.2 {
+			t.Errorf("pair %+v below floor", p)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package assocmine
+
+import "testing"
+
+// TestWorkersBitIdentical: parallel signature computation must yield
+// exactly the serial results through the public API.
+func TestWorkersBitIdentical(t *testing.T) {
+	d, _ := plantedDataset(t)
+	for _, algo := range []Algorithm{MinHash, KMinHash, MinLSH} {
+		base := Config{Algorithm: algo, Threshold: 0.6, K: 60, Seed: 4}
+		if algo == MinLSH {
+			base.R, base.L = 3, 20
+		}
+		serial, err := SimilarPairs(d, base)
+		if err != nil {
+			t.Fatalf("%v serial: %v", algo, err)
+		}
+		for _, workers := range []int{2, 8, -1} {
+			cfg := base
+			cfg.Workers = workers
+			par, err := SimilarPairs(d, cfg)
+			if err != nil {
+				t.Fatalf("%v workers=%d: %v", algo, workers, err)
+			}
+			if len(par.Pairs) != len(serial.Pairs) {
+				t.Fatalf("%v workers=%d: %d pairs vs %d serial",
+					algo, workers, len(par.Pairs), len(serial.Pairs))
+			}
+			for i := range serial.Pairs {
+				if par.Pairs[i] != serial.Pairs[i] {
+					t.Fatalf("%v workers=%d: pair %d differs", algo, workers, i)
+				}
+			}
+		}
+	}
+}
+
+// TestWorkersOnFileDataset: setting Workers on a streaming dataset
+// materialises and still matches.
+func TestWorkersOnFileDataset(t *testing.T) {
+	d, fd := fileDatasetFixture(t, ".arows")
+	cfg := Config{Algorithm: MinHash, Threshold: 0.45, K: 40, Seed: 9}
+	serial, err := SimilarPairs(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	par, err := fd.SimilarPairs(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par.Pairs) != len(serial.Pairs) {
+		t.Fatalf("parallel file run found %d pairs, want %d", len(par.Pairs), len(serial.Pairs))
+	}
+}
