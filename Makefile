@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt bench experiments experiments-full fuzz clean
+.PHONY: all build test check race race-all vet fmt bench bench-json experiments experiments-full fuzz clean
 
 all: build vet test
 
@@ -12,7 +12,14 @@ build:
 test:
 	$(GO) test ./...
 
+check: build vet test race
+
+# Race-detect the packages with concurrent code paths (fast); race-all
+# covers the whole tree.
 race:
+	$(GO) test -race ./internal/verify ./internal/lsh ./internal/candidate ./internal/minhash ./internal/kminhash
+
+race-all:
 	$(GO) test -race ./...
 
 vet:
@@ -23,6 +30,10 @@ fmt:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Per-phase serial-vs-parallel timings as JSON (ns/op + speedup).
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_pipeline.json
 
 # Regenerate every paper table and figure (text to stdout).
 experiments:

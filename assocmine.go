@@ -2,6 +2,7 @@ package assocmine
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"assocmine/internal/apriori"
@@ -97,11 +98,15 @@ type Config struct {
 	// SkipVerify returns raw candidates without the exact pruning pass
 	// (their Similarity fields are then estimates or zero).
 	SkipVerify bool
-	// Workers parallelises the signature phase across goroutines when
-	// the data is memory-resident (results are bit-identical to the
-	// serial pass). 0 or 1 means serial; negative means GOMAXPROCS.
-	// Streaming FileDataset runs materialise the matrix when Workers is
-	// set, trading memory for CPU.
+	// Workers parallelises all three phases — signatures, candidate
+	// generation, and verification — across goroutines, with results
+	// bit-identical to the serial run. 0 or 1 means serial; negative
+	// means GOMAXPROCS (setDefaults normalises both, so after
+	// validation Workers is always >= 1). Streaming FileDataset runs
+	// materialise the matrix for the signature phase when Workers > 1,
+	// trading memory for CPU; verification of a streaming source
+	// instead fans the single row pass out to the workers, so it stays
+	// one sequential scan.
 	Workers int
 }
 
@@ -146,7 +151,21 @@ func (c *Config) setDefaults() error {
 	if c.Algorithm == Apriori && (c.MinSupport <= 0 || c.MinSupport > 1) {
 		return fmt.Errorf("assocmine: Apriori requires MinSupport in (0,1], got %v", c.MinSupport)
 	}
+	c.Workers = normalizeWorkers(c.Workers)
 	return nil
+}
+
+// normalizeWorkers applies the single Workers semantic used
+// everywhere: negative means GOMAXPROCS, 0 and 1 mean serial. The
+// returned count is always >= 1.
+func normalizeWorkers(workers int) int {
+	if workers < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if workers == 0 {
+		return 1
+	}
+	return workers
 }
 
 // Pair is a similar column pair in a Result.
@@ -161,7 +180,8 @@ type Pair struct {
 
 // Stats describes the work a SimilarPairs run performed, phase by
 // phase. Durations are wall-clock for this process (the paper reports
-// CPU time; for these single-threaded phases they coincide).
+// CPU time; they coincide for serial runs, and wall-clock is the
+// quantity Workers > 1 improves).
 type Stats struct {
 	Algorithm  Algorithm
 	Candidates int // pairs entering verification
@@ -170,6 +190,13 @@ type Stats struct {
 	SignatureTime time.Duration // phase 1
 	CandidateTime time.Duration // phase 2
 	VerifyTime    time.Duration // phase 3
+
+	// SignatureWorkers, CandidateWorkers and VerifyWorkers record the
+	// worker budget each phase ran under (1 = serial; phases a scheme
+	// does not parallelise, or that a scheme skips, report 1).
+	SignatureWorkers int
+	CandidateWorkers int
+	VerifyWorkers    int
 
 	// DataPasses counts sequential scans of the data (the I/O currency
 	// of the disk-resident setting: phase 1 costs one pass, phase 3
@@ -209,7 +236,7 @@ func similarPairs(rawSrc matrix.RowSource, materialize func() (*matrix.Matrix, e
 	}
 	counting := &matrix.CountingSource{Src: rawSrc}
 	src := matrix.RowSource(counting)
-	st := Stats{Algorithm: cfg.Algorithm}
+	st := Stats{Algorithm: cfg.Algorithm, SignatureWorkers: 1, CandidateWorkers: 1, VerifyWorkers: 1}
 	finish := func(res *Result) *Result {
 		res.Stats.DataPasses = counting.Passes
 		res.Stats.RowsScanned = counting.Rows
@@ -236,15 +263,17 @@ func similarPairs(rawSrc matrix.RowSource, materialize func() (*matrix.Matrix, e
 			return nil, err
 		}
 		st.SignatureTime = time.Since(start)
+		st.SignatureWorkers = cfg.Workers
 		start = time.Now()
 		cutoff := (1 - cfg.Delta) * cfg.Threshold
 		var cst candidate.Stats
-		cand, cst, err = candidate.RowSortMH(sig, cutoff)
+		cand, cst, err = candidate.RowSortMHParallel(sig, cutoff, cfg.Workers)
 		if err != nil {
 			return nil, err
 		}
 		_ = cst
 		st.CandidateTime = time.Since(start)
+		st.CandidateWorkers = cfg.Workers
 
 	case KMinHash:
 		start := time.Now()
@@ -253,17 +282,19 @@ func similarPairs(rawSrc matrix.RowSource, materialize func() (*matrix.Matrix, e
 			return nil, err
 		}
 		st.SignatureTime = time.Since(start)
+		st.SignatureWorkers = cfg.Workers
 		start = time.Now()
 		cutoff := (1 - cfg.Delta) * cfg.Threshold
 		opt := candidate.KMHOptions{
 			BiasedCutoff:   cutoff / 2, // biased estimator under-counts; be generous
 			UnbiasedCutoff: cutoff,
 		}
-		cand, _, err = candidate.HashCountKMH(sk, opt)
+		cand, _, err = candidate.HashCountKMHParallel(sk, opt, cfg.Workers)
 		if err != nil {
 			return nil, err
 		}
 		st.CandidateTime = time.Since(start)
+		st.CandidateWorkers = cfg.Workers
 
 	case MinLSH:
 		start := time.Now()
@@ -273,12 +304,13 @@ func similarPairs(rawSrc matrix.RowSource, materialize func() (*matrix.Matrix, e
 			return nil, err
 		}
 		st.SignatureTime = time.Since(start)
+		st.SignatureWorkers = cfg.Workers
 		start = time.Now()
 		var set *pairs.Set
 		if exactBands {
-			set, _, err = lsh.Candidates(sig, cfg.R, cfg.L)
+			set, _, err = lsh.CandidatesParallel(sig, cfg.R, cfg.L, cfg.Workers)
 		} else {
-			set, _, err = lsh.SampledCandidates(sig, cfg.R, cfg.L, cfg.Seed+1)
+			set, _, err = lsh.SampledCandidatesParallel(sig, cfg.R, cfg.L, cfg.Seed+1, cfg.Workers)
 		}
 		if err != nil {
 			return nil, err
@@ -287,6 +319,7 @@ func similarPairs(rawSrc matrix.RowSource, materialize func() (*matrix.Matrix, e
 			cand = append(cand, pairs.Scored{Pair: p})
 		}
 		st.CandidateTime = time.Since(start)
+		st.CandidateWorkers = cfg.Workers
 
 	case HammingLSH:
 		start := time.Now()
@@ -334,20 +367,31 @@ func similarPairs(rawSrc matrix.RowSource, materialize func() (*matrix.Matrix, e
 		return finish(&Result{Pairs: toPairs(cand, false), Stats: st}), nil
 	}
 	start := time.Now()
-	verified, _, err := verify.Exact(src, cand, cfg.Threshold)
+	// In-memory sources let every verify worker run its own scan, which
+	// beats fanning the counted stream out; account the pass by hand so
+	// DataPasses/RowsScanned match the serial run.
+	vsrc := src
+	if cs, ok := rawSrc.(matrix.ConcurrentSource); ok && cs.ConcurrentScan() && cfg.Workers > 1 && len(cand) > 0 {
+		vsrc = rawSrc
+		counting.Passes++
+		counting.Rows += int64(rawSrc.NumRows())
+	}
+	verified, _, err := verify.ExactParallel(vsrc, cand, cfg.Threshold, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
 	st.VerifyTime = time.Since(start)
+	st.VerifyWorkers = cfg.Workers
 	st.Verified = len(verified)
 	pairs.SortScored(verified)
 	return finish(&Result{Pairs: toPairs(verified, true), Stats: st}), nil
 }
 
 // computeMH runs the MH signature pass, parallel when cfg.Workers asks
-// for it (which requires the materialised matrix).
+// for it (which requires the materialised matrix). cfg.Workers is
+// already normalised by setDefaults, so <= 1 means serial.
 func computeMH(src matrix.RowSource, materialize func() (*matrix.Matrix, error), cfg Config) (*minhash.Signatures, error) {
-	if cfg.Workers == 0 || cfg.Workers == 1 {
+	if cfg.Workers <= 1 {
 		return minhash.Compute(src, cfg.K, cfg.Seed)
 	}
 	m, err := materialize()
@@ -359,7 +403,7 @@ func computeMH(src matrix.RowSource, materialize func() (*matrix.Matrix, error),
 
 // computeKMH is computeMH for bottom-k sketches.
 func computeKMH(src matrix.RowSource, materialize func() (*matrix.Matrix, error), cfg Config) (*kminhash.Sketches, error) {
-	if cfg.Workers == 0 || cfg.Workers == 1 {
+	if cfg.Workers <= 1 {
 		return kminhash.Compute(src, cfg.K, cfg.Seed)
 	}
 	m, err := materialize()

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	assocfind -in data.amx -algo mlsh -threshold 0.7
+//	assocfind -in data.amx -algo mh -threshold 0.6 -workers -1
 //	assocfind -in data.arows -algo kmh -threshold 0.5 -k 200 -stream
 //	assocfind -in baskets.txt -transactions -algo mh -threshold 0.8 -clusters
 //	assocfind -in data.amx -rules -confidence 0.9
@@ -24,6 +25,7 @@ type options struct {
 	algo      string
 	threshold float64
 	k, r, l   int
+	workers   int
 	support   float64
 	seed      uint64
 	top       int
@@ -43,6 +45,7 @@ func main() {
 	flag.IntVar(&o.k, "k", 100, "min-hash values per column (mh, kmh, mlsh)")
 	flag.IntVar(&o.r, "r", 0, "band size / sample bits (mlsh, hlsh); 0 = default")
 	flag.IntVar(&o.l, "l", 0, "band count / runs (mlsh, hlsh); 0 = default")
+	flag.IntVar(&o.workers, "workers", 0, "goroutines per phase; 0 or 1 = serial, -1 = all cores")
 	flag.Float64Var(&o.support, "support", 0, "apriori only: minimum support fraction")
 	flag.Uint64Var(&o.seed, "seed", 1, "random seed")
 	flag.IntVar(&o.top, "top", 50, "print at most this many pairs/rules (0 = all)")
@@ -145,7 +148,7 @@ func run(o options) error {
 	}
 	cfg := assocmine.Config{
 		Algorithm: a, Threshold: o.threshold, K: o.k, R: o.r, L: o.l,
-		MinSupport: o.support, Seed: o.seed,
+		MinSupport: o.support, Seed: o.seed, Workers: o.workers,
 	}
 	var res *assocmine.Result
 	if fd != nil {
@@ -189,4 +192,8 @@ func run(o options) error {
 func printStats(s assocmine.Stats) {
 	fmt.Printf("phases: signatures %v, candidates %v (%d pairs), verification %v (%d kept); total %v\n",
 		s.SignatureTime, s.CandidateTime, s.Candidates, s.VerifyTime, s.Verified, s.Total())
+	if s.SignatureWorkers > 1 || s.CandidateWorkers > 1 || s.VerifyWorkers > 1 {
+		fmt.Printf("workers: signatures %d, candidates %d, verification %d\n",
+			s.SignatureWorkers, s.CandidateWorkers, s.VerifyWorkers)
+	}
 }

@@ -1,0 +1,160 @@
+// Command benchjson times each pipeline phase serial vs parallel on
+// the paper's synthetic workload and writes the results as JSON, for
+// tracking the parallel speedup across machines and revisions.
+//
+// Usage:
+//
+//	benchjson -out BENCH_pipeline.json
+//	benchjson -rows 5000 -cols 800 -workers 8
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"assocmine/internal/candidate"
+	"assocmine/internal/gen"
+	"assocmine/internal/lsh"
+	"assocmine/internal/matrix"
+	"assocmine/internal/minhash"
+	"assocmine/internal/pairs"
+	"assocmine/internal/verify"
+)
+
+type phaseResult struct {
+	Phase        string  `json:"phase"`
+	SerialNsOp   int64   `json:"serial_ns_op"`
+	ParallelNsOp int64   `json:"parallel_ns_op"`
+	Speedup      float64 `json:"speedup"`
+}
+
+type report struct {
+	Rows       int           `json:"rows"`
+	Cols       int           `json:"cols"`
+	NumCPU     int           `json:"numcpu"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Workers    int           `json:"workers"`
+	K          int           `json:"k"`
+	Phases     []phaseResult `json:"phases"`
+}
+
+func main() {
+	var (
+		out     = flag.String("out", "BENCH_pipeline.json", "output file (- for stdout)")
+		rows    = flag.Int("rows", 2000, "synthetic matrix rows")
+		cols    = flag.Int("cols", 400, "synthetic matrix columns")
+		k       = flag.Int("k", 50, "signature size")
+		workers = flag.Int("workers", 4, "worker count for the parallel runs")
+	)
+	flag.Parse()
+	if err := run(*out, *rows, *cols, *k, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func nsOp(fn func() error) (int64, error) {
+	var err error
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if e := fn(); e != nil {
+				err = e
+				b.Fatal(e)
+			}
+		}
+	})
+	return r.NsPerOp(), err
+}
+
+func phase(name string, serial, parallel func() error) (phaseResult, error) {
+	s, err := nsOp(serial)
+	if err != nil {
+		return phaseResult{}, fmt.Errorf("%s serial: %w", name, err)
+	}
+	p, err := nsOp(parallel)
+	if err != nil {
+		return phaseResult{}, fmt.Errorf("%s parallel: %w", name, err)
+	}
+	return phaseResult{Phase: name, SerialNsOp: s, ParallelNsOp: p, Speedup: float64(s) / float64(p)}, nil
+}
+
+func run(out string, rows, cols, k, workers int) error {
+	m, _, err := gen.Synthetic(gen.SyntheticConfig{
+		Rows: rows, Cols: cols, PairsPerRange: 2, Seed: 7,
+	})
+	if err != nil {
+		return err
+	}
+	sig, err := minhash.Compute(m.Stream(), k, 7)
+	if err != nil {
+		return err
+	}
+	// Dense strided candidate list so verification dominates over setup.
+	var cand []pairs.Scored
+	for i := int32(0); i < int32(cols); i++ {
+		for j := i + 1; j < int32(cols); j += 5 {
+			cand = append(cand, pairs.Scored{Pair: pairs.Make(i, j)})
+		}
+	}
+	rep := report{
+		Rows: rows, Cols: cols,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Workers:    workers,
+		K:          k,
+	}
+	specs := []struct {
+		name             string
+		serial, parallel func() error
+	}{
+		{"signatures/minhash",
+			func() error { _, err := minhash.Compute(m.Stream(), k, 7); return err },
+			func() error { _, err := minhash.ComputeParallel(m, k, 7, workers); return err }},
+		{"candidates/rowsort",
+			func() error { _, _, err := candidate.RowSortMH(sig, 0.4); return err },
+			func() error { _, _, err := candidate.RowSortMHParallel(sig, 0.4, workers); return err }},
+		{"candidates/lsh-banding",
+			func() error { _, _, err := lsh.Candidates(sig, 5, 10); return err },
+			func() error { _, _, err := lsh.CandidatesParallel(sig, 5, 10, workers); return err }},
+		{"verify/exact",
+			func() error { _, _, err := verify.Exact(m.Stream(), cand, 0.3); return err },
+			func() error { _, _, err := verify.ExactParallel(m.Stream(), cand, 0.3, workers); return err }},
+		{"verify/exact-fanout",
+			func() error { _, _, err := verify.Exact(m.Stream(), cand, 0.3); return err },
+			func() error {
+				_, _, err := verify.ExactParallel(hideConcurrent{m.Stream()}, cand, 0.3, workers)
+				return err
+			}},
+	}
+	for _, s := range specs {
+		r, err := phase(s.name, s.serial, s.parallel)
+		if err != nil {
+			return err
+		}
+		rep.Phases = append(rep.Phases, r)
+		fmt.Fprintf(os.Stderr, "%-24s serial %12d ns/op  parallel %12d ns/op  speedup %.2fx\n",
+			r.Phase, r.SerialNsOp, r.ParallelNsOp, r.Speedup)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(out, buf, 0o644)
+}
+
+// hideConcurrent masks ConcurrentScan so ExactParallel exercises the
+// single-reader fan-out path, the one streaming sources take.
+type hideConcurrent struct{ src matrix.RowSource }
+
+func (h hideConcurrent) NumRows() int                           { return h.src.NumRows() }
+func (h hideConcurrent) NumCols() int                           { return h.src.NumCols() }
+func (h hideConcurrent) Scan(fn func(int, []int32) error) error { return h.src.Scan(fn) }

@@ -1,6 +1,7 @@
 package candidate
 
 import (
+	"fmt"
 	"testing"
 
 	"assocmine/internal/hashing"
@@ -20,6 +21,43 @@ func BenchmarkRowSortMH(b *testing.B) {
 		if _, _, err := RowSortMH(sig, 0.4); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func BenchmarkRowSortMHParallel(b *testing.B) {
+	rng := hashing.NewSplitMix64(1)
+	m, _ := plantedMatrix(rng, 2000, 400)
+	sig, err := minhash.Compute(m.Stream(), 50, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := RowSortMHParallel(sig, 0.4, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkHashCountKMHParallel(b *testing.B) {
+	rng := hashing.NewSplitMix64(1)
+	m, _ := plantedMatrix(rng, 2000, 400)
+	sk, err := kminhash.Compute(m.Stream(), 50, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := KMHOptions{BiasedCutoff: 0.2, UnbiasedCutoff: 0.4}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := HashCountKMHParallel(sk, opt, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -51,28 +51,7 @@ func RowSortMH(sig *minhash.Signatures, cutoff float64) ([]pairs.Scored, Stats, 
 	runLo := make([][]int32, k)
 	runHi := make([][]int32, k)
 	for l := 0; l < k; l++ {
-		order := make([]int32, m)
-		for c := range order {
-			order[c] = int32(c)
-		}
-		row := sig.Vals[l*m : (l+1)*m]
-		sort.Slice(order, func(a, b int) bool { return row[order[a]] < row[order[b]] })
-		p := make([]int32, m)
-		for idx, c := range order {
-			p[c] = int32(idx)
-		}
-		lo := make([]int32, m)
-		hi := make([]int32, m)
-		start := 0
-		for idx := 1; idx <= m; idx++ {
-			if idx == m || row[order[idx]] != row[order[start]] {
-				for q := start; q < idx; q++ {
-					lo[q], hi[q] = int32(start), int32(idx)
-				}
-				start = idx
-			}
-		}
-		sorted[l], pos[l], runLo[l], runHi[l] = order, p, lo, hi
+		sorted[l], pos[l], runLo[l], runHi[l] = sortRow(sig, l)
 	}
 
 	var st Stats
@@ -272,6 +251,37 @@ func BruteForceKMH(s *kminhash.Sketches, cutoff float64) ([]pairs.Scored, Stats,
 	}
 	st.Candidates = len(out)
 	return out, st, nil
+}
+
+// sortRow builds the Row-Sorting per-row structures for signature row
+// l: the column order sorted by min-hash value, each column's position
+// in that order, and the [lo,hi) bounds of each position's equal-value
+// run. Shared by the serial and parallel passes so both see the same
+// within-run ordering.
+func sortRow(sig *minhash.Signatures, l int) (sorted, pos, runLo, runHi []int32) {
+	m := sig.M
+	order := make([]int32, m)
+	for c := range order {
+		order[c] = int32(c)
+	}
+	row := sig.Vals[l*m : (l+1)*m]
+	sort.Slice(order, func(a, b int) bool { return row[order[a]] < row[order[b]] })
+	p := make([]int32, m)
+	for idx, c := range order {
+		p[c] = int32(idx)
+	}
+	lo := make([]int32, m)
+	hi := make([]int32, m)
+	start := 0
+	for idx := 1; idx <= m; idx++ {
+		if idx == m || row[order[idx]] != row[order[start]] {
+			for q := start; q < idx; q++ {
+				lo[q], hi[q] = int32(start), int32(idx)
+			}
+			start = idx
+		}
+	}
+	return order, p, lo, hi
 }
 
 // ceilFrac returns max(1, ceil(cutoff*k)).

@@ -1,0 +1,328 @@
+// Parallel candidate generation. Both Section 3.1 algorithms decompose
+// the same way: a read-only index is built first (per-row sorted runs
+// for Row-Sorting, value buckets for Hash-Count), then every column's
+// agreement counting depends only on that index, so columns shard
+// across workers with one private counter array each. Because a
+// column's work grows with its index (Hash-Count counts against the
+// earlier columns only), columns are handed out in small chunks through
+// an atomic cursor rather than as contiguous ranges; chunk outputs are
+// concatenated in chunk order, which restores exactly the serial
+// emission order. All Stats are identical to the serial pass.
+package candidate
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"assocmine/internal/kminhash"
+	"assocmine/internal/minhash"
+	"assocmine/internal/pairs"
+)
+
+// colChunk is the unit of work handed to a worker: big enough to keep
+// cursor contention negligible, small enough to balance the skewed
+// per-column cost.
+const colChunk = 32
+
+// forEachChunk runs fn over [0,m) in chunks of colChunk across workers,
+// storing per-chunk outputs so the caller can merge deterministically.
+// fn receives the chunk index, its column range, and the worker id.
+func forEachChunk(m, workers int, fn func(chunk, lo, hi, worker int)) int {
+	numChunks := (m + colChunk - 1) / colChunk
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				ck := int(next.Add(1)) - 1
+				if ck >= numChunks {
+					return
+				}
+				lo := ck * colChunk
+				hi := lo + colChunk
+				if hi > m {
+					hi = m
+				}
+				fn(ck, lo, hi, worker)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return numChunks
+}
+
+func concatChunks(outs [][]pairs.Scored) []pairs.Scored {
+	n := 0
+	for _, o := range outs {
+		n += len(o)
+	}
+	out := make([]pairs.Scored, 0, n)
+	for _, o := range outs {
+		out = append(out, o...)
+	}
+	return out
+}
+
+// RowSortMHParallel is RowSortMH with both stages parallelised: the
+// per-row sorting (k independent rows) and the per-column run scan.
+// Output and Stats are identical to RowSortMH for any worker count;
+// workers <= 1 runs the serial pass, negative means GOMAXPROCS.
+func RowSortMHParallel(sig *minhash.Signatures, cutoff float64, workers int) ([]pairs.Scored, Stats, error) {
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 1 {
+		return RowSortMH(sig, cutoff)
+	}
+	if cutoff <= 0 || cutoff > 1 {
+		_, _, err := RowSortMH(sig, cutoff)
+		return nil, Stats{}, err
+	}
+	k, m := sig.K, sig.M
+	minAgree := ceilFrac(cutoff, k)
+
+	// Stage 1: per-row runs, one row per unit of work.
+	sorted := make([][]int32, k)
+	pos := make([][]int32, k)
+	runLo := make([][]int32, k)
+	runHi := make([][]int32, k)
+	var nextRow atomic.Int64
+	var wg sync.WaitGroup
+	rowWorkers := workers
+	if rowWorkers > k {
+		rowWorkers = k
+	}
+	for w := 0; w < rowWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				l := int(nextRow.Add(1)) - 1
+				if l >= k {
+					return
+				}
+				sorted[l], pos[l], runLo[l], runHi[l] = sortRow(sig, l)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Stage 2: per-column counting over chunked columns.
+	numChunks := (m + colChunk - 1) / colChunk
+	outs := make([][]pairs.Scored, numChunks)
+	incs := make([]int64, workers)
+	forEachChunk(m, workers, func(ck, lo, hi, worker int) {
+		counts := make([]int32, m)
+		touched := make([]int32, 0, 256)
+		var out []pairs.Scored
+		for i := lo; i < hi; i++ {
+			for l := 0; l < k; l++ {
+				p := pos[l][i]
+				if sig.Vals[l*m+i] == minhash.Empty {
+					continue
+				}
+				for q := runLo[l][p]; q < runHi[l][p]; q++ {
+					j := sorted[l][q]
+					if int(j) == i {
+						continue
+					}
+					if counts[j] == 0 {
+						touched = append(touched, j)
+					}
+					counts[j]++
+					incs[worker]++
+				}
+			}
+			for _, j := range touched {
+				if int(counts[j]) >= minAgree && int(j) > i {
+					out = append(out, pairs.Scored{
+						Pair:     pairs.Make(int32(i), j),
+						Estimate: float64(counts[j]) / float64(k),
+					})
+				}
+				counts[j] = 0
+			}
+			touched = touched[:0]
+		}
+		outs[ck] = out
+	})
+
+	var st Stats
+	for _, n := range incs {
+		st.Increments += n
+	}
+	out := concatChunks(outs)
+	st.Candidates = len(out)
+	return out, st, nil
+}
+
+// HashCountMHParallel is HashCountMH with the per-row bucket tables
+// built in parallel and the column counting sharded. Each column counts
+// only against lower-indexed columns (the ascending prefix of its
+// buckets), reproducing the serial incremental-insert semantics.
+func HashCountMHParallel(sig *minhash.Signatures, cutoff float64, workers int) ([]pairs.Scored, Stats, error) {
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 1 {
+		return HashCountMH(sig, cutoff)
+	}
+	if cutoff <= 0 || cutoff > 1 {
+		_, _, err := HashCountMH(sig, cutoff)
+		return nil, Stats{}, err
+	}
+	k, m := sig.K, sig.M
+	minAgree := ceilFrac(cutoff, k)
+
+	// Stage 1: full bucket tables, one signature row per unit of work.
+	// Columns enter each bucket in ascending order.
+	buckets := make([]map[uint64][]int32, k)
+	var nextRow atomic.Int64
+	var wg sync.WaitGroup
+	rowWorkers := workers
+	if rowWorkers > k {
+		rowWorkers = k
+	}
+	for w := 0; w < rowWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				l := int(nextRow.Add(1)) - 1
+				if l >= k {
+					return
+				}
+				row := make(map[uint64][]int32, m)
+				for c := 0; c < m; c++ {
+					if v := sig.Vals[l*m+c]; v != minhash.Empty {
+						row[v] = append(row[v], int32(c))
+					}
+				}
+				buckets[l] = row
+			}
+		}()
+	}
+	wg.Wait()
+
+	numChunks := (m + colChunk - 1) / colChunk
+	outs := make([][]pairs.Scored, numChunks)
+	incs := make([]int64, workers)
+	forEachChunk(m, workers, func(ck, lo, hi, worker int) {
+		counts := make([]int32, m)
+		touched := make([]int32, 0, 256)
+		var out []pairs.Scored
+		for i := lo; i < hi; i++ {
+			ii := int32(i)
+			for l := 0; l < k; l++ {
+				v := sig.Vals[l*m+i]
+				if v == minhash.Empty {
+					continue
+				}
+				for _, j := range buckets[l][v] {
+					if j >= ii {
+						break // ascending bucket: rest is i itself and later columns
+					}
+					if counts[j] == 0 {
+						touched = append(touched, j)
+					}
+					counts[j]++
+					incs[worker]++
+				}
+			}
+			for _, j := range touched {
+				if int(counts[j]) >= minAgree {
+					out = append(out, pairs.Scored{
+						Pair:     pairs.Make(j, ii),
+						Estimate: float64(counts[j]) / float64(k),
+					})
+				}
+				counts[j] = 0
+			}
+			touched = touched[:0]
+		}
+		outs[ck] = out
+	})
+
+	var st Stats
+	for _, n := range incs {
+		st.Increments += n
+	}
+	out := concatChunks(outs)
+	st.Candidates = len(out)
+	return out, st, nil
+}
+
+// HashCountKMHParallel is HashCountKMH with the column counting sharded
+// across workers. The single bucket table (one bucket per observed
+// min-hash value, columns ascending) is built serially — it is the
+// cheap O(m·k) part — and shared read-only; each worker counts its
+// columns against the ascending prefix of every bucket and applies the
+// biased-then-unbiased estimator cascade exactly as the serial pass.
+func HashCountKMHParallel(s *kminhash.Sketches, opt KMHOptions, workers int) ([]pairs.Scored, Stats, error) {
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 1 {
+		return HashCountKMH(s, opt)
+	}
+	if opt.BiasedCutoff <= 0 || opt.BiasedCutoff > 1 || opt.UnbiasedCutoff < 0 || opt.UnbiasedCutoff > 1 {
+		_, _, err := HashCountKMH(s, opt)
+		return nil, Stats{}, err
+	}
+	m := len(s.Sigs)
+	buckets := make(map[uint64][]int32, m*min(s.K, 8))
+	for i := 0; i < m; i++ {
+		for _, v := range s.Sigs[i] {
+			buckets[v] = append(buckets[v], int32(i))
+		}
+	}
+
+	numChunks := (m + colChunk - 1) / colChunk
+	outs := make([][]pairs.Scored, numChunks)
+	incs := make([]int64, workers)
+	forEachChunk(m, workers, func(ck, lo, hi, worker int) {
+		counts := make([]int32, m)
+		touched := make([]int32, 0, 256)
+		var out []pairs.Scored
+		for i := lo; i < hi; i++ {
+			ii := int32(i)
+			for _, v := range s.Sigs[i] {
+				for _, j := range buckets[v] {
+					if j >= ii {
+						break
+					}
+					if counts[j] == 0 {
+						touched = append(touched, j)
+					}
+					counts[j]++
+					incs[worker]++
+				}
+			}
+			for _, j := range touched {
+				if est := s.BiasedEstimateFromCount(int(j), i, int(counts[j])); est >= opt.BiasedCutoff {
+					unbiased := s.UnbiasedEstimate(int(j), i)
+					if unbiased >= opt.UnbiasedCutoff {
+						out = append(out, pairs.Scored{
+							Pair:     pairs.Make(j, ii),
+							Estimate: unbiased,
+						})
+					}
+				}
+				counts[j] = 0
+			}
+			touched = touched[:0]
+		}
+		outs[ck] = out
+	})
+
+	var st Stats
+	for _, n := range incs {
+		st.Increments += n
+	}
+	out := concatChunks(outs)
+	st.Candidates = len(out)
+	return out, st, nil
+}

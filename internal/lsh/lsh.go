@@ -85,15 +85,7 @@ func Candidates(sig *minhash.Signatures, r, l int) (*pairs.Set, Stats, error) {
 	if sig.K < r*l {
 		return nil, Stats{}, fmt.Errorf("lsh: need k >= r*l = %d min-hash values, have %d (use SampledCandidates)", r*l, sig.K)
 	}
-	bands := make([][]int, l)
-	for b := 0; b < l; b++ {
-		rows := make([]int, r)
-		for i := range rows {
-			rows[i] = b*r + i
-		}
-		bands[b] = rows
-	}
-	return bandCandidates(sig, bands, nil)
+	return bandCandidates(sig, disjointBands(r, l), nil)
 }
 
 // SampledCandidates runs the Q_{r,l,k} variant: each of the l bands
@@ -107,12 +99,7 @@ func SampledCandidates(sig *minhash.Signatures, r, l int, seed uint64) (*pairs.S
 	if sig.K < r {
 		return nil, Stats{}, fmt.Errorf("lsh: need k >= r = %d min-hash values, have %d", r, sig.K)
 	}
-	rng := hashing.NewSplitMix64(seed)
-	bands := make([][]int, l)
-	for b := 0; b < l; b++ {
-		bands[b] = rng.Perm(sig.K)[:r]
-	}
-	return bandCandidates(sig, bands, nil)
+	return bandCandidates(sig, sampledBands(sig.K, r, l, seed), nil)
 }
 
 // OnlineCandidates processes bands one at a time, invoking progress
@@ -128,6 +115,19 @@ func OnlineCandidates(sig *minhash.Signatures, r, l int, progress func(band int,
 	if sig.K < r*l {
 		return nil, Stats{}, fmt.Errorf("lsh: need k >= r*l = %d min-hash values, have %d", r*l, sig.K)
 	}
+	return bandCandidates(sig, disjointBands(r, l), progress)
+}
+
+func checkRL(r, l int) error {
+	if r <= 0 || l <= 0 {
+		return fmt.Errorf("lsh: r and l must be positive, got r=%d l=%d", r, l)
+	}
+	return nil
+}
+
+// disjointBands returns the basic layout: l bands of r consecutive
+// signature rows.
+func disjointBands(r, l int) [][]int {
 	bands := make([][]int, l)
 	for b := 0; b < l; b++ {
 		rows := make([]int, r)
@@ -136,14 +136,20 @@ func OnlineCandidates(sig *minhash.Signatures, r, l int, progress func(band int,
 		}
 		bands[b] = rows
 	}
-	return bandCandidates(sig, bands, progress)
+	return bands
 }
 
-func checkRL(r, l int) error {
-	if r <= 0 || l <= 0 {
-		return fmt.Errorf("lsh: r and l must be positive, got r=%d l=%d", r, l)
+// sampledBands returns the Q_{r,l,k} layout: each band draws r of the k
+// values without replacement. The sequential RNG makes the layout a
+// pure function of (k, r, l, seed), shared by the serial and parallel
+// paths.
+func sampledBands(k, r, l int, seed uint64) [][]int {
+	rng := hashing.NewSplitMix64(seed)
+	bands := make([][]int, l)
+	for b := 0; b < l; b++ {
+		bands[b] = rng.Perm(k)[:r]
 	}
-	return nil
+	return bands
 }
 
 func bandCandidates(sig *minhash.Signatures, bands [][]int, progress func(int, []pairs.Pair) bool) (*pairs.Set, Stats, error) {

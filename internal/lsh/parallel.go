@@ -1,0 +1,128 @@
+// Parallel banding: bands are independent by construction (Lemma 2 —
+// each band hashes its own rows of the signature matrix and contributes
+// candidates on its own), so the banding pass shards at band
+// granularity. Each worker builds the bucket table of one band at a
+// time and emits that band's local pair list; the lists are merged and
+// deduplicated into one pairs.Set sequentially in band order, so the
+// resulting candidate SET and all Stats are identical to the serial
+// pass for any worker count.
+package lsh
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"assocmine/internal/hashing"
+	"assocmine/internal/minhash"
+	"assocmine/internal/pairs"
+)
+
+// CandidatesParallel is Candidates with the l bands sharded across
+// workers. workers <= 1 runs the serial pass; negative workers means
+// GOMAXPROCS. The candidate set, Bands, BucketPairs and Candidates
+// statistics are identical to the serial pass.
+func CandidatesParallel(sig *minhash.Signatures, r, l, workers int) (*pairs.Set, Stats, error) {
+	if err := checkRL(r, l); err != nil {
+		return nil, Stats{}, err
+	}
+	if sig.K < r*l {
+		return nil, Stats{}, fmt.Errorf("lsh: need k >= r*l = %d min-hash values, have %d (use SampledCandidates)", r*l, sig.K)
+	}
+	return bandCandidatesParallel(sig, disjointBands(r, l), workers)
+}
+
+// SampledCandidatesParallel is SampledCandidates with bands sharded
+// across workers; the band layout is drawn from the same sequential RNG
+// as the serial variant, so the two produce identical candidate sets.
+func SampledCandidatesParallel(sig *minhash.Signatures, r, l int, seed uint64, workers int) (*pairs.Set, Stats, error) {
+	if err := checkRL(r, l); err != nil {
+		return nil, Stats{}, err
+	}
+	if sig.K < r {
+		return nil, Stats{}, fmt.Errorf("lsh: need k >= r = %d min-hash values, have %d", r, sig.K)
+	}
+	return bandCandidatesParallel(sig, sampledBands(sig.K, r, l, seed), workers)
+}
+
+func bandCandidatesParallel(sig *minhash.Signatures, bands [][]int, workers int) (*pairs.Set, Stats, error) {
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(bands) {
+		workers = len(bands)
+	}
+	if workers <= 1 {
+		return bandCandidates(sig, bands, nil)
+	}
+
+	type bandOut struct {
+		pairs       []pairs.Pair
+		bucketPairs int64
+	}
+	outs := make([]bandOut, len(bands))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			key := make([]uint64, 0, 32)
+			for {
+				b := int(next.Add(1)) - 1
+				if b >= len(bands) {
+					return
+				}
+				rows := bands[b]
+				buckets := make(map[uint64][]int32, sig.M)
+				for c := 0; c < sig.M; c++ {
+					key = key[:0]
+					empty := true
+					for _, l := range rows {
+						v := sig.Vals[l*sig.M+c]
+						if v != minhash.Empty {
+							empty = false
+						}
+						key = append(key, v)
+					}
+					if empty {
+						continue
+					}
+					k := hashing.CombineKeys(key)
+					buckets[k] = append(buckets[k], int32(c))
+				}
+				var local []pairs.Pair
+				var attempts int64
+				for _, cols := range buckets {
+					if len(cols) < 2 {
+						continue
+					}
+					for i := 0; i < len(cols); i++ {
+						for j := i + 1; j < len(cols); j++ {
+							attempts++
+							// Within one band the buckets partition the
+							// columns, so local needs no dedup; cross-band
+							// duplicates fall out at the merge.
+							local = append(local, pairs.Make(cols[i], cols[j]))
+						}
+					}
+				}
+				outs[b] = bandOut{pairs: local, bucketPairs: attempts}
+			}
+		}()
+	}
+	wg.Wait()
+
+	set := pairs.NewSet(1024)
+	var st Stats
+	for b := range outs {
+		st.Bands++
+		st.BucketPairs += outs[b].bucketPairs
+		for _, p := range outs[b].pairs {
+			set.Add(p.I, p.J)
+		}
+	}
+	st.Candidates = set.Len()
+	return set, st, nil
+}

@@ -18,6 +18,18 @@ type RowSource interface {
 	Scan(fn func(row int, cols []int32) error) error
 }
 
+// ConcurrentSource is a RowSource whose Scan may be called from
+// several goroutines at once (in-memory data with no per-scan state).
+// Parallel consumers such as verify.ExactParallel use it to let each
+// worker run its own full scan instead of fanning one stream out.
+// Sources with mutable scan state (files, CountingSource) must not
+// implement it.
+type ConcurrentSource interface {
+	RowSource
+	// ConcurrentScan reports whether concurrent Scans are safe.
+	ConcurrentScan() bool
+}
+
 // Stream returns a RowSource view of the matrix. The row-major
 // transpose is computed once, on first use, and cached.
 func (m *Matrix) Stream() RowSource {
@@ -28,6 +40,11 @@ type rowStream Matrix
 
 func (s *rowStream) NumRows() int { return s.rows }
 func (s *rowStream) NumCols() int { return len(s.cols) }
+
+// ConcurrentScan implements ConcurrentSource: the matrix is immutable
+// and the lazy transpose is guarded by a sync.Once, so overlapping
+// Scans are safe.
+func (s *rowStream) ConcurrentScan() bool { return true }
 
 func (s *rowStream) Scan(fn func(row int, cols []int32) error) error {
 	m := (*Matrix)(s)
@@ -101,6 +118,10 @@ func (s *SliceSource) NumRows() int { return len(s.Rows) }
 
 // NumCols implements RowSource.
 func (s *SliceSource) NumCols() int { return s.Cols }
+
+// ConcurrentScan implements ConcurrentSource: the slices are never
+// mutated by Scan.
+func (s *SliceSource) ConcurrentScan() bool { return true }
 
 // Scan implements RowSource.
 func (s *SliceSource) Scan(fn func(row int, cols []int32) error) error {

@@ -13,20 +13,45 @@ import (
 // passes over the data — the multi-pass fallback the paper alludes to
 // ("as long as the number of false positives is not too large (i.e.,
 // all of the candidates can fit in main memory)... but one could also
-// achieve it by making multiple passes over the data").
+// achieve it by making multiple passes over the data"). One counter
+// scratch is reused across the batches.
 func ExactBatched(src matrix.RowSource, cand []pairs.Scored, threshold float64, maxResident int) ([]pairs.Scored, Stats, error) {
+	return ExactBatchedParallel(src, cand, threshold, maxResident, 1)
+}
+
+// ExactBatchedParallel stacks batching and parallelism: each batch of
+// at most maxResident candidates is verified by ExactParallel, so the
+// resident-counter bound and the worker count compose. workers <= 1
+// runs the serial multi-pass path.
+func ExactBatchedParallel(src matrix.RowSource, cand []pairs.Scored, threshold float64, maxResident, workers int) ([]pairs.Scored, Stats, error) {
 	if maxResident <= 0 {
 		return nil, Stats{}, fmt.Errorf("verify: maxResident must be positive, got %d", maxResident)
+	}
+	if threshold < 0 || threshold > 1 {
+		return nil, Stats{}, fmt.Errorf("verify: threshold must be in [0,1], got %v", threshold)
+	}
+	if err := validateCandidates(src.NumCols(), 0, cand); err != nil {
+		return nil, Stats{}, err
 	}
 	var out []pairs.Scored
 	var total Stats
 	total.In = len(cand)
+	sc := new(exactScratch)
 	for lo := 0; lo < len(cand); lo += maxResident {
 		hi := lo + maxResident
 		if hi > len(cand) {
 			hi = len(cand)
 		}
-		batch, st, err := Exact(src, cand[lo:hi], threshold)
+		var (
+			batch []pairs.Scored
+			st    Stats
+			err   error
+		)
+		if workers > 1 {
+			batch, st, err = exactParallel(src, cand[lo:hi], threshold, workers)
+		} else {
+			batch, st, err = exactInto(src, cand[lo:hi], threshold, sc)
+		}
 		if err != nil {
 			return nil, Stats{}, err
 		}

@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"fmt"
 	"testing"
 
 	"assocmine/internal/hashing"
@@ -21,6 +22,37 @@ func BenchmarkExact(b *testing.B) {
 		if _, _, err := Exact(m.Stream(), cand, 0.3); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkExactParallel times the sharded verifier on the issue's
+// planted 2000x400 workload at several worker counts; workers=1 is the
+// serial baseline through the same entry point.
+func BenchmarkExactParallel(b *testing.B) {
+	rng := hashing.NewSplitMix64(1)
+	m := randomMatrix(rng, 2000, 400, 0.05)
+	var cand []pairs.Scored
+	for i := int32(0); i < 400; i++ {
+		for j := i + 1; j < 400; j += 5 {
+			cand = append(cand, pairs.Scored{Pair: pairs.Make(i, j)})
+		}
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := ExactParallel(m.Stream(), cand, 0.3, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("fanout/workers=%d", workers), func(b *testing.B) {
+			src := streamOnly{m.Stream()}
+			for i := 0; i < b.N; i++ {
+				if _, _, err := ExactParallel(src, cand, 0.3, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,213 @@
+// Parallel verification: the candidate list is sharded into disjoint
+// contiguous slices, one per worker, each worker maintaining its own
+// pairsOf index and either/both/lastRow counters. Because every
+// candidate's counters live with exactly one worker, no synchronisation
+// is needed on the counting hot path and the per-shard results are the
+// same bytes the serial pass would produce for that slice; merging is
+// concatenation in shard order plus summing Touches.
+//
+// Two data-delivery strategies cover the two operating regimes:
+//
+//   - In-memory sources (matrix.ConcurrentSource): every worker runs
+//     its own full Scan. Scans are cheap relative to counter updates,
+//     and there is zero copying or channel traffic.
+//   - Streaming sources (files, CountingSource): a single reader
+//     performs the one sequential pass the disk-resident setting
+//     allows, copying rows into batches that are fanned out to every
+//     worker. The source still sees exactly one Scan.
+package verify
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"assocmine/internal/matrix"
+	"assocmine/internal/pairs"
+)
+
+// ExactParallel is Exact with the candidate counters sharded across
+// workers. Results are bit-identical to Exact for any worker count;
+// workers <= 1 runs the serial pass, negative workers means
+// GOMAXPROCS. Small candidate lists are automatically run with fewer
+// workers (goroutine and fan-out overhead would dominate).
+func ExactParallel(src matrix.RowSource, cand []pairs.Scored, threshold float64, workers int) ([]pairs.Scored, Stats, error) {
+	if threshold < 0 || threshold > 1 {
+		return nil, Stats{}, fmt.Errorf("verify: threshold must be in [0,1], got %v", threshold)
+	}
+	if err := validateCandidates(src.NumCols(), 0, cand); err != nil {
+		return nil, Stats{}, err
+	}
+	return exactParallel(src, cand, threshold, workers)
+}
+
+// ExactPairsParallel is ExactParallel for bare pairs.
+func ExactPairsParallel(src matrix.RowSource, cand []pairs.Pair, threshold float64, workers int) ([]pairs.Scored, Stats, error) {
+	scored := make([]pairs.Scored, len(cand))
+	for i, p := range cand {
+		scored[i] = pairs.Scored{Pair: p}
+	}
+	return ExactParallel(src, scored, threshold, workers)
+}
+
+// minShardCandidates is the smallest candidate shard worth a goroutine;
+// below it the scan itself dominates and workers are trimmed.
+const minShardCandidates = 32
+
+// exactParallel assumes cand is already validated.
+func exactParallel(src matrix.RowSource, cand []pairs.Scored, threshold float64, workers int) ([]pairs.Scored, Stats, error) {
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if maxUseful := (len(cand) + minShardCandidates - 1) / minShardCandidates; workers > maxUseful {
+		workers = maxUseful
+	}
+	if workers <= 1 {
+		return exactInto(src, cand, threshold, new(exactScratch))
+	}
+
+	// Contiguous shards: concatenating shard outputs in order restores
+	// the exact order the serial pass would emit.
+	chunk := (len(cand) + workers - 1) / workers
+	var shards [][2]int
+	for lo := 0; lo < len(cand); lo += chunk {
+		hi := lo + chunk
+		if hi > len(cand) {
+			hi = len(cand)
+		}
+		shards = append(shards, [2]int{lo, hi})
+	}
+
+	outs := make([][]pairs.Scored, len(shards))
+	stats := make([]Stats, len(shards))
+	errs := make([]error, len(shards))
+
+	if cs, ok := src.(matrix.ConcurrentSource); ok && cs.ConcurrentScan() {
+		var wg sync.WaitGroup
+		for s, sh := range shards {
+			wg.Add(1)
+			go func(s, lo, hi int) {
+				defer wg.Done()
+				outs[s], stats[s], errs[s] = exactInto(src, cand[lo:hi], threshold, new(exactScratch))
+			}(s, sh[0], sh[1])
+		}
+		wg.Wait()
+	} else if err := exactFanOut(src, cand, threshold, shards, outs, stats); err != nil {
+		return nil, Stats{}, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, Stats{}, err
+		}
+	}
+
+	total := Stats{In: len(cand)}
+	n := 0
+	for s := range outs {
+		total.Touches += stats[s].Touches
+		n += len(outs[s])
+	}
+	out := make([]pairs.Scored, 0, n)
+	for _, o := range outs {
+		out = append(out, o...)
+	}
+	total.Out = len(out)
+	return out, total, nil
+}
+
+// rowBatch carries a copied block of rows from the single reader to
+// every shard worker: rows[i] spans cols[offs[i]:offs[i+1]].
+type rowBatch struct {
+	rows []int32
+	offs []int32
+	cols []int32
+}
+
+const (
+	batchRows = 512
+	batchCols = 8192
+)
+
+// exactFanOut runs the streaming strategy: one Scan of src, with each
+// row block broadcast to all shard workers. Workers keep their counters
+// across batches (row ids are globally unique, so the lastRow trick is
+// unaffected by batch boundaries).
+func exactFanOut(src matrix.RowSource, cand []pairs.Scored, threshold float64, shards [][2]int, outs [][]pairs.Scored, stats []Stats) error {
+	m := src.NumCols()
+	chans := make([]chan *rowBatch, len(shards))
+	var wg sync.WaitGroup
+	for s, sh := range shards {
+		chans[s] = make(chan *rowBatch, 4)
+		wg.Add(1)
+		go func(s int, lo, hi int, ch <-chan *rowBatch) {
+			defer wg.Done()
+			shardCand := cand[lo:hi]
+			sc := new(exactScratch)
+			sc.reset(m, len(shardCand))
+			for idx, p := range shardCand {
+				sc.pairsOf[p.I] = append(sc.pairsOf[p.I], int32(idx))
+				sc.pairsOf[p.J] = append(sc.pairsOf[p.J], int32(idx))
+			}
+			st := Stats{In: len(shardCand)}
+			for b := range ch {
+				for ri, r := range b.rows {
+					for _, c := range b.cols[b.offs[ri]:b.offs[ri+1]] {
+						for _, idx := range sc.pairsOf[c] {
+							st.Touches++
+							if sc.lastRow[idx] == r {
+								sc.both[idx]++
+							} else {
+								sc.lastRow[idx] = r
+								sc.either[idx]++
+							}
+						}
+					}
+				}
+			}
+			out := make([]pairs.Scored, 0, len(shardCand)/4)
+			for idx, p := range shardCand {
+				if sc.either[idx] == 0 {
+					continue
+				}
+				if sim := float64(sc.both[idx]) / float64(sc.either[idx]); sim >= threshold {
+					p.Exact = sim
+					out = append(out, p)
+				}
+			}
+			st.Out = len(out)
+			outs[s], stats[s] = out, st
+		}(s, sh[0], sh[1], chans[s])
+	}
+
+	batch := &rowBatch{offs: []int32{0}}
+	flush := func() {
+		if len(batch.rows) == 0 {
+			return
+		}
+		for _, ch := range chans {
+			ch <- batch
+		}
+		batch = &rowBatch{
+			rows: make([]int32, 0, batchRows),
+			offs: append(make([]int32, 0, batchRows+1), 0),
+			cols: make([]int32, 0, batchCols),
+		}
+	}
+	err := src.Scan(func(row int, cols []int32) error {
+		batch.rows = append(batch.rows, int32(row))
+		batch.cols = append(batch.cols, cols...)
+		batch.offs = append(batch.offs, int32(len(batch.cols)))
+		if len(batch.rows) >= batchRows || len(batch.cols) >= batchCols {
+			flush()
+		}
+		return nil
+	})
+	if err == nil {
+		flush()
+	}
+	for _, ch := range chans {
+		close(ch)
+	}
+	wg.Wait()
+	return err
+}

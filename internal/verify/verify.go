@@ -23,6 +23,58 @@ type Stats struct {
 	Touches int64 // per-row pair-counter updates
 }
 
+// exactScratch holds the per-candidate counters and the per-column
+// candidate index of one pruning pass. Reusing one scratch across
+// passes (ExactBatched's batches, ExactParallel's per-worker state)
+// keeps the backing arrays alive instead of reallocating them for
+// every batch.
+type exactScratch struct {
+	pairsOf [][]int32 // pairsOf[c] lists indices of candidates with c as an endpoint
+	either  []int32
+	both    []int32
+	lastRow []int32
+}
+
+// reset prepares the scratch for m columns and n candidates, keeping
+// whatever backing capacity earlier passes grew.
+func (sc *exactScratch) reset(m, n int) {
+	if cap(sc.pairsOf) < m {
+		sc.pairsOf = make([][]int32, m)
+	}
+	sc.pairsOf = sc.pairsOf[:m]
+	for c := range sc.pairsOf {
+		sc.pairsOf[c] = sc.pairsOf[c][:0]
+	}
+	if cap(sc.either) < n {
+		sc.either = make([]int32, n)
+		sc.both = make([]int32, n)
+		sc.lastRow = make([]int32, n)
+	}
+	sc.either = sc.either[:n]
+	sc.both = sc.both[:n]
+	sc.lastRow = sc.lastRow[:n]
+	for i := range sc.either {
+		sc.either[i] = 0
+		sc.both[i] = 0
+		sc.lastRow[i] = -1
+	}
+}
+
+// validateCandidates checks column ranges and self pairs, with indices
+// reported relative to the full candidate list (base is the offset of
+// cand within it).
+func validateCandidates(m, base int, cand []pairs.Scored) error {
+	for idx, p := range cand {
+		if int(p.I) >= m || int(p.J) >= m || p.I < 0 || p.J < 0 {
+			return fmt.Errorf("verify: candidate %d references column out of range: (%d,%d)", base+idx, p.I, p.J)
+		}
+		if p.I == p.J {
+			return fmt.Errorf("verify: candidate %d is a self pair (%d,%d)", base+idx, p.I, p.J)
+		}
+	}
+	return nil
+}
+
 // Exact performs the pruning pass: one scan of src maintaining, for
 // each candidate pair, |C_i ∪ C_j| and |C_i ∩ C_j| counters. It
 // returns the candidates with exact similarity >= threshold, with the
@@ -32,29 +84,25 @@ func Exact(src matrix.RowSource, cand []pairs.Scored, threshold float64) ([]pair
 	if threshold < 0 || threshold > 1 {
 		return nil, Stats{}, fmt.Errorf("verify: threshold must be in [0,1], got %v", threshold)
 	}
+	if err := validateCandidates(src.NumCols(), 0, cand); err != nil {
+		return nil, Stats{}, err
+	}
+	return exactInto(src, cand, threshold, new(exactScratch))
+}
+
+// exactInto is the counting core of Exact. Candidates must already be
+// validated; sc supplies (and retains) the counter arrays.
+func exactInto(src matrix.RowSource, cand []pairs.Scored, threshold float64, sc *exactScratch) ([]pairs.Scored, Stats, error) {
 	st := Stats{In: len(cand)}
 	if len(cand) == 0 {
 		return nil, st, nil
 	}
-	m := src.NumCols()
-	// pairsOf[c] lists indices of candidates with c as an endpoint.
-	pairsOf := make([][]int32, m)
+	sc.reset(src.NumCols(), len(cand))
 	for idx, p := range cand {
-		if int(p.I) >= m || int(p.J) >= m || p.I < 0 || p.J < 0 {
-			return nil, Stats{}, fmt.Errorf("verify: candidate %d references column out of range: (%d,%d)", idx, p.I, p.J)
-		}
-		if p.I == p.J {
-			return nil, Stats{}, fmt.Errorf("verify: candidate %d is a self pair (%d,%d)", idx, p.I, p.J)
-		}
-		pairsOf[p.I] = append(pairsOf[p.I], int32(idx))
-		pairsOf[p.J] = append(pairsOf[p.J], int32(idx))
+		sc.pairsOf[p.I] = append(sc.pairsOf[p.I], int32(idx))
+		sc.pairsOf[p.J] = append(sc.pairsOf[p.J], int32(idx))
 	}
-	either := make([]int32, len(cand))
-	both := make([]int32, len(cand))
-	lastRow := make([]int32, len(cand))
-	for i := range lastRow {
-		lastRow[i] = -1
-	}
+	pairsOf, either, both, lastRow := sc.pairsOf, sc.either, sc.both, sc.lastRow
 	err := src.Scan(func(row int, cols []int32) error {
 		r := int32(row)
 		for _, c := range cols {
@@ -74,7 +122,7 @@ func Exact(src matrix.RowSource, cand []pairs.Scored, threshold float64) ([]pair
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	var out []pairs.Scored
+	out := make([]pairs.Scored, 0, len(cand)/4)
 	for idx, p := range cand {
 		if either[idx] == 0 {
 			continue

@@ -31,7 +31,9 @@ type Progress struct {
 // false from fn. The pairs accumulated up to the stop are returned.
 //
 // cfg.Algorithm must be MinLSH (or zero, which is treated as MinLSH
-// here); cfg.K must be at least R*L.
+// here); cfg.K must be at least R*L. cfg.Workers parallelises the
+// signature pass and each band's verification; the banding itself
+// stays band-at-a-time — that ordering is the point of the API.
 func ProgressiveSimilarPairs(d *Dataset, cfg Config, fn func(Progress) bool) (*Result, error) {
 	if cfg.Algorithm != MinLSH && cfg.Algorithm != BruteForce {
 		return nil, fmt.Errorf("assocmine: progressive mining requires MinLSH, got %v", cfg.Algorithm)
@@ -46,9 +48,15 @@ func ProgressiveSimilarPairs(d *Dataset, cfg Config, fn func(Progress) bool) (*R
 	if fn == nil {
 		return nil, fmt.Errorf("assocmine: progressive mining requires a callback")
 	}
-	st := Stats{Algorithm: MinLSH}
+	st := Stats{Algorithm: MinLSH, SignatureWorkers: cfg.Workers, CandidateWorkers: 1, VerifyWorkers: cfg.Workers}
 	start := time.Now()
-	sig, err := minhash.Compute(d.m.Stream(), cfg.K, cfg.Seed)
+	var sig *minhash.Signatures
+	var err error
+	if cfg.Workers > 1 {
+		sig, err = minhash.ComputeParallel(d.m, cfg.K, cfg.Seed, cfg.Workers)
+	} else {
+		sig, err = minhash.Compute(d.m.Stream(), cfg.K, cfg.Seed)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -62,7 +70,7 @@ func ProgressiveSimilarPairs(d *Dataset, cfg Config, fn func(Progress) bool) (*R
 		if len(fresh) > 0 {
 			verifyPasses++ // ExactPairs scans the data only for non-empty batches
 		}
-		verified, _, err := verify.ExactPairs(d.m.Stream(), fresh, cfg.Threshold)
+		verified, _, err := verify.ExactPairsParallel(d.m.Stream(), fresh, cfg.Threshold, cfg.Workers)
 		st.VerifyTime += time.Since(vstart)
 		if err != nil {
 			innerErr = err

@@ -22,14 +22,15 @@ type Signatures struct {
 	seed uint64
 }
 
-// ComputeSignatures runs the phase-1 scan once. workers > 1
-// parallelises it (bit-identical results).
+// ComputeSignatures runs the phase-1 scan once. Workers follow the
+// Config.Workers semantic: 0 or 1 serial, negative GOMAXPROCS, > 1
+// parallel — with bit-identical results either way.
 func ComputeSignatures(d *Dataset, k int, seed uint64, workers int) (*Signatures, error) {
 	var (
 		sig *minhash.Signatures
 		err error
 	)
-	if workers > 1 || workers < 0 {
+	if workers = normalizeWorkers(workers); workers > 1 {
 		sig, err = minhash.ComputeParallel(d.m, k, seed, workers)
 	} else {
 		sig, err = minhash.Compute(d.m.Stream(), k, seed)
@@ -92,14 +93,14 @@ func SimilarPairsWithSignatures(d *Dataset, s *Signatures, cfg Config) (*Result,
 	if err := cfg.setDefaults(); err != nil {
 		return nil, err
 	}
-	st := Stats{Algorithm: cfg.Algorithm}
+	st := Stats{Algorithm: cfg.Algorithm, SignatureWorkers: 1, CandidateWorkers: 1, VerifyWorkers: 1}
 	var cand []pairs.Scored
 	start := time.Now()
 	switch cfg.Algorithm {
 	case MinHash:
 		cutoff := (1 - cfg.Delta) * cfg.Threshold
 		var err error
-		cand, _, err = candidate.RowSortMH(s.sig, cutoff)
+		cand, _, err = candidate.RowSortMHParallel(s.sig, cutoff, cfg.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -107,7 +108,7 @@ func SimilarPairsWithSignatures(d *Dataset, s *Signatures, cfg Config) (*Result,
 		if s.sig.K < cfg.R*cfg.L {
 			return nil, fmt.Errorf("assocmine: sketch K=%d cannot host %d bands of %d rows", s.sig.K, cfg.L, cfg.R)
 		}
-		set, _, err := lsh.Candidates(s.sig, cfg.R, cfg.L)
+		set, _, err := lsh.CandidatesParallel(s.sig, cfg.R, cfg.L, cfg.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -118,17 +119,19 @@ func SimilarPairsWithSignatures(d *Dataset, s *Signatures, cfg Config) (*Result,
 		return nil, fmt.Errorf("assocmine: precomputed signatures support MinHash and MinLSH, got %v", cfg.Algorithm)
 	}
 	st.CandidateTime = time.Since(start)
+	st.CandidateWorkers = cfg.Workers
 	st.Candidates = len(cand)
 	if cfg.SkipVerify {
 		pairs.SortScored(cand)
 		return &Result{Pairs: toPairs(cand, false), Stats: st}, nil
 	}
 	start = time.Now()
-	verified, _, err := verify.Exact(d.m.Stream(), cand, cfg.Threshold)
+	verified, _, err := verify.ExactParallel(d.m.Stream(), cand, cfg.Threshold, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
 	st.VerifyTime = time.Since(start)
+	st.VerifyWorkers = cfg.Workers
 	st.Verified = len(verified)
 	st.DataPasses = 1
 	st.RowsScanned = int64(d.NumRows())

@@ -17,6 +17,8 @@ import (
 // each retry reuses nothing but is still cheap; pair the call with
 // ComputeSignatures/SimilarPairsWithSignatures when the dataset is
 // large and the threshold is expected to drop several times.
+// cfg.Workers carries through to every retry, parallelising all three
+// phases of each attempt.
 func TopPairs(d *Dataset, n int, cfg Config, minThreshold float64) ([]Pair, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("assocmine: TopPairs needs n > 0, got %d", n)

@@ -1,6 +1,63 @@
 package assocmine
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
+
+// TestWorkersDeterminismTable: SimilarPairs output (pairs, estimates,
+// similarities, candidate and verified counts) must be identical for
+// every worker count, across all LSH-family algorithms. workers=1 is
+// the serial baseline; the others exercise the parallel shards of all
+// three phases. DataPasses is deliberately not compared: parallel
+// signature computation materialises the matrix instead of scanning
+// the counted stream, so its pass accounting legitimately differs.
+func TestWorkersDeterminismTable(t *testing.T) {
+	d, _ := plantedDataset(t)
+	algos := []struct {
+		name string
+		cfg  Config
+	}{
+		{"MinHash", Config{Algorithm: MinHash, Threshold: 0.6, K: 60, Seed: 4}},
+		{"KMinHash", Config{Algorithm: KMinHash, Threshold: 0.6, K: 60, Seed: 4}},
+		{"MinLSH", Config{Algorithm: MinLSH, Threshold: 0.6, K: 60, R: 3, L: 20, Seed: 4}},
+		{"HammingLSH", Config{Algorithm: HammingLSH, Threshold: 0.6, K: 60, Seed: 4}},
+	}
+	for _, a := range algos {
+		t.Run(a.name, func(t *testing.T) {
+			base := a.cfg
+			base.Workers = 1
+			serial, err := SimilarPairs(d, base)
+			if err != nil {
+				t.Fatalf("serial: %v", err)
+			}
+			for _, workers := range []int{2, 4, 7} {
+				t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+					cfg := a.cfg
+					cfg.Workers = workers
+					par, err := SimilarPairs(d, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if par.Stats.Candidates != serial.Stats.Candidates {
+						t.Errorf("candidates %d, want %d", par.Stats.Candidates, serial.Stats.Candidates)
+					}
+					if par.Stats.Verified != serial.Stats.Verified {
+						t.Errorf("verified %d, want %d", par.Stats.Verified, serial.Stats.Verified)
+					}
+					if len(par.Pairs) != len(serial.Pairs) {
+						t.Fatalf("%d pairs, want %d", len(par.Pairs), len(serial.Pairs))
+					}
+					for i := range serial.Pairs {
+						if par.Pairs[i] != serial.Pairs[i] {
+							t.Fatalf("pair %d: %+v, want %+v", i, par.Pairs[i], serial.Pairs[i])
+						}
+					}
+				})
+			}
+		})
+	}
+}
 
 // TestWorkersBitIdentical: parallel signature computation must yield
 // exactly the serial results through the public API.
