@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race race-all vet fmt bench bench-json experiments experiments-full fuzz clean
+.PHONY: all build test check statcheck race race-all vet fmt bench bench-json experiments experiments-full fuzz clean
 
 all: build vet test
 
@@ -12,7 +12,12 @@ build:
 test:
 	$(GO) test ./...
 
-check: build vet test race
+check: build vet test race statcheck
+
+# The statistical-accuracy suite (recall / false-positive-rate bounds
+# on seeded synthetic matrices; deterministic).
+statcheck:
+	$(GO) test ./internal/statstest
 
 # Race-detect the packages with concurrent code paths (fast); race-all
 # covers the whole tree.
@@ -42,11 +47,13 @@ experiments:
 experiments-full:
 	$(GO) run ./cmd/experiments -scale full
 
-# Short fuzz pass over the codecs.
+# Short fuzz pass over the codecs and dataset parsers.
 fuzz:
 	$(GO) test ./internal/matrix -fuzz FuzzReadText -fuzztime 10s
 	$(GO) test ./internal/matrix -fuzz FuzzReadBinary -fuzztime 10s
 	$(GO) test ./internal/matrix -fuzz FuzzReadNamedTransactions -fuzztime 10s
+	$(GO) test ./internal/minhash -fuzz FuzzReadSignatures -fuzztime 10s
+	$(GO) test . -fuzz FuzzOpenFileDataset -fuzztime 10s
 
 clean:
 	rm -rf internal/matrix/testdata/fuzz

@@ -12,6 +12,7 @@ import (
 	"assocmine/internal/lsh"
 	"assocmine/internal/matrix"
 	"assocmine/internal/minhash"
+	"assocmine/internal/obs"
 	"assocmine/internal/pairs"
 	"assocmine/internal/verify"
 )
@@ -108,6 +109,17 @@ type Config struct {
 	// instead fans the single row pass out to the workers, so it stays
 	// one sequential scan.
 	Workers int
+	// Recorder, when non-nil, receives per-phase spans, counters and
+	// gauges as the run progresses (see the Counter*/Gauge*/Phase*
+	// constants). Stats is populated from the same event stream, so a
+	// Collector used here ends the run agreeing with Stats exactly.
+	// Must be safe for concurrent use. nil costs nothing.
+	Recorder Recorder
+	// Progress, when non-nil, receives coarse per-phase progress. Calls
+	// are serialised and monotonic per phase; hooks sit at chunk/band/
+	// shard boundaries, so results and Stats are unaffected. nil costs
+	// nothing.
+	Progress ProgressFunc
 }
 
 func (c *Config) setDefaults() error {
@@ -204,6 +216,23 @@ type Stats struct {
 	// delivered across all passes.
 	DataPasses  int
 	RowsScanned int64
+
+	// SignatureCells is the number of sketch entries built in phase 1
+	// (k·m for MH/M-LSH, Σ|sketch| for K-MH; 0 for schemes without a
+	// signature phase) and SignatureBytes their memory footprint.
+	SignatureCells int64
+	SignatureBytes int64
+	// CandidateIncrements counts phase-2 counter increments (the
+	// paper's candidate-generation work measure) for the counting
+	// schemes; BucketPairs counts bucket-collision pairs inspected by
+	// the LSH schemes before dedup.
+	CandidateIncrements int64
+	BucketPairs         int64
+	// VerifyTouches counts phase-3 counter updates; FalsePositives is
+	// Candidates - Verified, the candidates the exact pass pruned
+	// (0 when SkipVerify).
+	VerifyTouches  int64
+	FalsePositives int
 }
 
 // Total returns the end-to-end running time.
@@ -236,81 +265,126 @@ func similarPairs(rawSrc matrix.RowSource, materialize func() (*matrix.Matrix, e
 	}
 	counting := &matrix.CountingSource{Src: rawSrc}
 	src := matrix.RowSource(counting)
+	inner := obs.NewCollector()
+	rec := obs.Tee(inner, cfg.Recorder)
+	prog := newProgressSink(cfg.Progress)
 	st := Stats{Algorithm: cfg.Algorithm, SignatureWorkers: 1, CandidateWorkers: 1, VerifyWorkers: 1}
+	phase := func(name string) func() time.Duration { return phaseSpan(rec, name) }
 	finish := func(res *Result) *Result {
 		res.Stats.DataPasses = counting.Passes
 		res.Stats.RowsScanned = counting.Rows
+		rec.Add(obs.CounterDataPasses, int64(counting.Passes))
+		rec.Add(obs.CounterRowsScanned, counting.Rows)
+		rec.Add(obs.CounterCandidates, int64(res.Stats.Candidates))
+		rec.Add(obs.CounterPairsVerified, int64(res.Stats.Verified))
+		rec.Add(obs.CounterFalsePositives, int64(res.Stats.FalsePositives))
+		res.Stats.fillFrom(inner)
 		return res
 	}
 	var cand []pairs.Scored
 
 	switch cfg.Algorithm {
 	case BruteForce:
-		start := time.Now()
-		exact, err := verify.AllPairsSource(src, cfg.Threshold)
+		tick := prog.enter(PhaseCandidates)
+		end := phase(PhaseCandidates)
+		bsrc := src
+		if tick != nil {
+			bsrc = &matrix.ProgressSource{Src: bsrc, Tick: tick}
+		}
+		exact, err := verify.AllPairsSource(bsrc, cfg.Threshold)
 		if err != nil {
 			return nil, err
 		}
-		st.CandidateTime = time.Since(start)
+		st.CandidateTime = end()
+		prog.finish(PhaseCandidates)
 		st.Candidates = len(exact)
 		st.Verified = len(exact)
 		return finish(&Result{Pairs: toPairs(exact, true), Stats: st}), nil
 
 	case MinHash:
-		start := time.Now()
-		sig, err := computeMH(src, materialize, cfg)
+		tick := prog.enter(PhaseSignatures)
+		end := phase(PhaseSignatures)
+		sig, err := computeMH(src, materialize, cfg, tick)
 		if err != nil {
 			return nil, err
 		}
-		st.SignatureTime = time.Since(start)
+		st.SignatureTime = end()
 		st.SignatureWorkers = cfg.Workers
-		start = time.Now()
+		rec.SetGauge(obs.GaugeSignatureWorkers, int64(cfg.Workers))
+		rec.Add(obs.CounterSignatureCells, int64(sig.K)*int64(sig.M))
+		rec.SetGauge(obs.GaugeSignatureBytes, int64(len(sig.Vals))*8)
+		prog.finish(PhaseSignatures)
+		tick = prog.enter(PhaseCandidates)
+		end = phase(PhaseCandidates)
 		cutoff := (1 - cfg.Delta) * cfg.Threshold
 		var cst candidate.Stats
-		cand, cst, err = candidate.RowSortMHParallel(sig, cutoff, cfg.Workers)
+		cand, cst, err = candidate.RowSortMHParallelProgress(sig, cutoff, cfg.Workers, tick)
 		if err != nil {
 			return nil, err
 		}
-		_ = cst
-		st.CandidateTime = time.Since(start)
+		st.CandidateTime = end()
 		st.CandidateWorkers = cfg.Workers
+		rec.SetGauge(obs.GaugeCandidateWorkers, int64(cfg.Workers))
+		rec.Add(obs.CounterIncrements, cst.Increments)
+		prog.finish(PhaseCandidates)
 
 	case KMinHash:
-		start := time.Now()
-		sk, err := computeKMH(src, materialize, cfg)
+		tick := prog.enter(PhaseSignatures)
+		end := phase(PhaseSignatures)
+		sk, err := computeKMH(src, materialize, cfg, tick)
 		if err != nil {
 			return nil, err
 		}
-		st.SignatureTime = time.Since(start)
+		st.SignatureTime = end()
 		st.SignatureWorkers = cfg.Workers
-		start = time.Now()
+		rec.SetGauge(obs.GaugeSignatureWorkers, int64(cfg.Workers))
+		var cells int64
+		for _, s := range sk.Sigs {
+			cells += int64(len(s))
+		}
+		rec.Add(obs.CounterSignatureCells, cells)
+		rec.SetGauge(obs.GaugeSignatureBytes, cells*8)
+		prog.finish(PhaseSignatures)
+		tick = prog.enter(PhaseCandidates)
+		end = phase(PhaseCandidates)
 		cutoff := (1 - cfg.Delta) * cfg.Threshold
 		opt := candidate.KMHOptions{
 			BiasedCutoff:   cutoff / 2, // biased estimator under-counts; be generous
 			UnbiasedCutoff: cutoff,
 		}
-		cand, _, err = candidate.HashCountKMHParallel(sk, opt, cfg.Workers)
+		var cst candidate.Stats
+		cand, cst, err = candidate.HashCountKMHParallelProgress(sk, opt, cfg.Workers, tick)
 		if err != nil {
 			return nil, err
 		}
-		st.CandidateTime = time.Since(start)
+		st.CandidateTime = end()
 		st.CandidateWorkers = cfg.Workers
+		rec.SetGauge(obs.GaugeCandidateWorkers, int64(cfg.Workers))
+		rec.Add(obs.CounterIncrements, cst.Increments)
+		prog.finish(PhaseCandidates)
 
 	case MinLSH:
-		start := time.Now()
+		tick := prog.enter(PhaseSignatures)
+		end := phase(PhaseSignatures)
 		exactBands := cfg.K >= cfg.R*cfg.L
-		sig, err := computeMH(src, materialize, cfg)
+		sig, err := computeMH(src, materialize, cfg, tick)
 		if err != nil {
 			return nil, err
 		}
-		st.SignatureTime = time.Since(start)
+		st.SignatureTime = end()
 		st.SignatureWorkers = cfg.Workers
-		start = time.Now()
+		rec.SetGauge(obs.GaugeSignatureWorkers, int64(cfg.Workers))
+		rec.Add(obs.CounterSignatureCells, int64(sig.K)*int64(sig.M))
+		rec.SetGauge(obs.GaugeSignatureBytes, int64(len(sig.Vals))*8)
+		prog.finish(PhaseSignatures)
+		tick = prog.enter(PhaseCandidates)
+		end = phase(PhaseCandidates)
 		var set *pairs.Set
+		var lst lsh.Stats
 		if exactBands {
-			set, _, err = lsh.CandidatesParallel(sig, cfg.R, cfg.L, cfg.Workers)
+			set, lst, err = lsh.CandidatesParallelProgress(sig, cfg.R, cfg.L, cfg.Workers, tick)
 		} else {
-			set, _, err = lsh.SampledCandidatesParallel(sig, cfg.R, cfg.L, cfg.Seed+1, cfg.Workers)
+			set, lst, err = lsh.SampledCandidatesParallelProgress(sig, cfg.R, cfg.L, cfg.Seed+1, cfg.Workers, tick)
 		}
 		if err != nil {
 			return nil, err
@@ -318,16 +392,20 @@ func similarPairs(rawSrc matrix.RowSource, materialize func() (*matrix.Matrix, e
 		for _, p := range set.Slice() {
 			cand = append(cand, pairs.Scored{Pair: p})
 		}
-		st.CandidateTime = time.Since(start)
+		st.CandidateTime = end()
 		st.CandidateWorkers = cfg.Workers
+		rec.SetGauge(obs.GaugeCandidateWorkers, int64(cfg.Workers))
+		rec.Add(obs.CounterBucketPairs, lst.BucketPairs)
+		prog.finish(PhaseCandidates)
 
 	case HammingLSH:
-		start := time.Now()
+		prog.enter(PhaseCandidates)
+		end := phase(PhaseCandidates)
 		full, err := materialize()
 		if err != nil {
 			return nil, err
 		}
-		set, _, err := hamminglsh.Candidates(full, hamminglsh.Options{
+		set, hst, err := hamminglsh.Candidates(full, hamminglsh.Options{
 			R: cfg.R, L: cfg.L, T: cfg.T, Seed: cfg.Seed,
 		})
 		if err != nil {
@@ -336,11 +414,21 @@ func similarPairs(rawSrc matrix.RowSource, materialize func() (*matrix.Matrix, e
 		for _, p := range set.Slice() {
 			cand = append(cand, pairs.Scored{Pair: p})
 		}
-		st.CandidateTime = time.Since(start)
+		st.CandidateTime = end()
+		rec.Add(obs.CounterBucketPairs, hst.BucketPairs)
+		prog.finish(PhaseCandidates)
 
 	case Apriori:
-		start := time.Now()
-		res, err := apriori.Mine(src, apriori.Options{
+		tick := prog.enter(PhaseCandidates)
+		end := phase(PhaseCandidates)
+		asrc := src
+		if tick != nil {
+			// A-priori scans once per level; ticks from later passes
+			// restart at zero and the sink drops them, so progress
+			// tracks the first pass and completes at finish.
+			asrc = &matrix.ProgressSource{Src: asrc, Tick: tick}
+		}
+		res, err := apriori.Mine(asrc, apriori.Options{
 			MinSupport:   cfg.MinSupport,
 			MaxLevel:     2,
 			MemoryBudget: cfg.AprioriMemoryBudget,
@@ -352,7 +440,8 @@ func similarPairs(rawSrc matrix.RowSource, materialize func() (*matrix.Matrix, e
 		if err != nil {
 			return nil, err
 		}
-		st.CandidateTime = time.Since(start)
+		st.CandidateTime = end()
+		prog.finish(PhaseCandidates)
 		st.Candidates = len(exact)
 		st.Verified = len(exact)
 		return finish(&Result{Pairs: toPairs(exact, true), Stats: st}), nil
@@ -366,44 +455,87 @@ func similarPairs(rawSrc matrix.RowSource, materialize func() (*matrix.Matrix, e
 		pairs.SortScored(cand)
 		return finish(&Result{Pairs: toPairs(cand, false), Stats: st}), nil
 	}
-	start := time.Now()
+	tick := prog.enter(PhaseVerify)
+	end := phase(PhaseVerify)
 	// In-memory sources let every verify worker run its own scan, which
 	// beats fanning the counted stream out; account the pass by hand so
 	// DataPasses/RowsScanned match the serial run.
 	vsrc := src
+	var verified []pairs.Scored
+	var vst verify.Stats
+	var err error
 	if cs, ok := rawSrc.(matrix.ConcurrentSource); ok && cs.ConcurrentScan() && cfg.Workers > 1 && len(cand) > 0 {
-		vsrc = rawSrc
 		counting.Passes++
 		counting.Rows += int64(rawSrc.NumRows())
+		verified, vst, err = verify.ExactParallelProgress(rawSrc, cand, cfg.Threshold, cfg.Workers, tick)
+	} else {
+		if tick != nil {
+			vsrc = &matrix.ProgressSource{Src: vsrc, Tick: tick}
+		}
+		verified, vst, err = verify.ExactParallel(vsrc, cand, cfg.Threshold, cfg.Workers)
 	}
-	verified, _, err := verify.ExactParallel(vsrc, cand, cfg.Threshold, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
-	st.VerifyTime = time.Since(start)
+	st.VerifyTime = end()
 	st.VerifyWorkers = cfg.Workers
+	rec.SetGauge(obs.GaugeVerifyWorkers, int64(cfg.Workers))
+	rec.Add(obs.CounterVerifyTouches, vst.Touches)
+	prog.finish(PhaseVerify)
 	st.Verified = len(verified)
+	st.FalsePositives = len(cand) - len(verified)
 	pairs.SortScored(verified)
 	return finish(&Result{Pairs: toPairs(verified, true), Stats: st}), nil
 }
 
+// phaseSpan opens a recorder span for one pipeline phase; the returned
+// func closes it and reports the duration, which is the exact value the
+// corresponding Stats field records.
+func phaseSpan(rec obs.Recorder, name string) func() time.Duration {
+	rec.PhaseStart(name)
+	start := time.Now()
+	return func() time.Duration {
+		d := time.Since(start)
+		rec.PhaseEnd(name, d)
+		return d
+	}
+}
+
+// fillFrom copies the counters the run recorded into the extended Stats
+// fields, keeping Stats and any attached Recorder in exact agreement.
+func (s *Stats) fillFrom(c *Collector) {
+	s.SignatureCells = c.Counter(CounterSignatureCells)
+	s.SignatureBytes = c.Gauge(GaugeSignatureBytes)
+	s.CandidateIncrements = c.Counter(CounterIncrements)
+	s.BucketPairs = c.Counter(CounterBucketPairs)
+	s.VerifyTouches = c.Counter(CounterVerifyTouches)
+}
+
 // computeMH runs the MH signature pass, parallel when cfg.Workers asks
 // for it (which requires the materialised matrix). cfg.Workers is
-// already normalised by setDefaults, so <= 1 means serial.
-func computeMH(src matrix.RowSource, materialize func() (*matrix.Matrix, error), cfg Config) (*minhash.Signatures, error) {
+// already normalised by setDefaults, so <= 1 means serial. tick, when
+// non-nil, receives row progress (serial) or column progress (parallel).
+func computeMH(src matrix.RowSource, materialize func() (*matrix.Matrix, error), cfg Config, tick obs.Tick) (*minhash.Signatures, error) {
 	if cfg.Workers <= 1 {
+		if tick != nil {
+			src = &matrix.ProgressSource{Src: src, Tick: tick}
+		}
 		return minhash.Compute(src, cfg.K, cfg.Seed)
 	}
 	m, err := materialize()
 	if err != nil {
 		return nil, err
 	}
-	return minhash.ComputeParallel(m, cfg.K, cfg.Seed, cfg.Workers)
+	return minhash.ComputeParallelProgress(m, cfg.K, cfg.Seed, cfg.Workers, tick)
 }
 
-// computeKMH is computeMH for bottom-k sketches.
-func computeKMH(src matrix.RowSource, materialize func() (*matrix.Matrix, error), cfg Config) (*kminhash.Sketches, error) {
+// computeKMH is computeMH for bottom-k sketches; the parallel pass has
+// no fine-grained hooks, so progress there completes in one step.
+func computeKMH(src matrix.RowSource, materialize func() (*matrix.Matrix, error), cfg Config, tick obs.Tick) (*kminhash.Sketches, error) {
 	if cfg.Workers <= 1 {
+		if tick != nil {
+			src = &matrix.ProgressSource{Src: src, Tick: tick}
+		}
 		return kminhash.Compute(src, cfg.K, cfg.Seed)
 	}
 	m, err := materialize()

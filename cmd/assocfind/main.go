@@ -14,27 +14,38 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"strings"
 
 	"assocmine"
 )
 
 type options struct {
-	in        string
-	algo      string
-	threshold float64
-	k, r, l   int
-	workers   int
-	support   float64
-	seed      uint64
-	top       int
-	doRules   bool
-	conf      float64
-	stats     bool
-	stream    bool
-	txns      bool
-	clusters  bool
+	in          string
+	algo        string
+	threshold   float64
+	k, r, l     int
+	workers     int
+	support     float64
+	seed        uint64
+	top         int
+	doRules     bool
+	conf        float64
+	stats       bool
+	stream      bool
+	txns        bool
+	clusters    bool
+	metrics     bool
+	progress    bool
+	metricsAddr string
+	cpuprofile  string
+	memprofile  string
+	tracefile   string
 }
 
 func main() {
@@ -55,6 +66,12 @@ func main() {
 	flag.BoolVar(&o.stream, "stream", false, "mine directly from disk (one file pass per phase; .txt or .arows)")
 	flag.BoolVar(&o.txns, "transactions", false, "input is named-transaction format (item names per line)")
 	flag.BoolVar(&o.clusters, "clusters", false, "also group the found pairs into column clusters")
+	flag.BoolVar(&o.metrics, "metrics", false, "print per-phase metrics in Prometheus text format after the run")
+	flag.BoolVar(&o.progress, "progress", false, "report per-phase progress on stderr while mining")
+	flag.StringVar(&o.metricsAddr, "metrics-addr", "", "serve /metrics and /debug/vars on this address while running (e.g. :8080)")
+	flag.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&o.memprofile, "memprofile", "", "write a heap profile to this file at exit")
+	flag.StringVar(&o.tracefile, "trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
 	if o.in == "" {
 		fmt.Fprintln(os.Stderr, "assocfind: -in is required")
@@ -87,11 +104,15 @@ func parseAlgo(s string) (assocmine.Algorithm, error) {
 }
 
 func run(o options) error {
+	stopDiag, err := startDiagnostics(o)
+	if err != nil {
+		return err
+	}
+	defer stopDiag()
 	var (
 		data  *assocmine.Dataset
 		fd    *assocmine.FileDataset
 		names []string
-		err   error
 	)
 	switch {
 	case o.txns:
@@ -150,6 +171,19 @@ func run(o options) error {
 		Algorithm: a, Threshold: o.threshold, K: o.k, R: o.r, L: o.l,
 		MinSupport: o.support, Seed: o.seed, Workers: o.workers,
 	}
+	var coll *assocmine.Collector
+	if o.metrics || o.metricsAddr != "" {
+		coll = assocmine.NewCollector()
+		cfg.Recorder = coll
+	}
+	if o.metricsAddr != "" {
+		if err := serveMetrics(o.metricsAddr, coll); err != nil {
+			return err
+		}
+	}
+	if o.progress {
+		cfg.Progress = progressPrinter(os.Stderr)
+	}
 	var res *assocmine.Result
 	if fd != nil {
 		res, err = fd.SimilarPairs(cfg)
@@ -186,7 +220,110 @@ func run(o options) error {
 	if o.stats {
 		printStats(res.Stats)
 	}
+	if o.metrics {
+		fmt.Println("metrics:")
+		if err := assocmine.WriteMetrics(os.Stdout, coll); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// startDiagnostics starts the requested pprof/trace captures and
+// returns the function that stops them (and writes the heap profile).
+func startDiagnostics(o options) (func(), error) {
+	stops := []func(){}
+	stop := func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+	}
+	if o.cpuprofile != "" {
+		f, err := os.Create(o.cpuprofile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		stops = append(stops, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if o.tracefile != "" {
+		f, err := os.Create(o.tracefile)
+		if err != nil {
+			stop()
+			return nil, err
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			stop()
+			return nil, err
+		}
+		stops = append(stops, func() {
+			trace.Stop()
+			f.Close()
+		})
+	}
+	if o.memprofile != "" {
+		path := o.memprofile
+		stops = append(stops, func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "assocfind: memprofile:", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "assocfind: memprofile:", err)
+			}
+			f.Close()
+		})
+	}
+	return stop, nil
+}
+
+// serveMetrics exposes the collector on addr for the duration of the
+// run: /metrics in Prometheus text format, /debug/vars via expvar.
+func serveMetrics(addr string, coll *assocmine.Collector) error {
+	assocmine.PublishMetrics("assocmine", coll)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = assocmine.WriteMetrics(w, coll)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"assocmine\": %s}\n", assocmine.ExpvarString(coll))
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics\n", ln.Addr())
+	go func() { _ = http.Serve(ln, mux) }()
+	return nil
+}
+
+// progressPrinter reports phase progress to w, one line per whole
+// percent (or phase change), so even huge runs stay readable.
+func progressPrinter(w *os.File) assocmine.ProgressFunc {
+	lastPhase := ""
+	lastPct := int64(-1)
+	return func(phase string, done, total int64) {
+		pct := int64(100)
+		if total > 0 {
+			pct = done * 100 / total
+		}
+		if phase == lastPhase && pct == lastPct {
+			return
+		}
+		lastPhase, lastPct = phase, pct
+		fmt.Fprintf(w, "progress: %-10s %3d%% (%d/%d)\n", phase, pct, done, total)
+	}
 }
 
 func printStats(s assocmine.Stats) {

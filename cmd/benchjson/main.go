@@ -16,6 +16,7 @@ import (
 	"runtime"
 	"testing"
 
+	"assocmine"
 	"assocmine/internal/candidate"
 	"assocmine/internal/gen"
 	"assocmine/internal/lsh"
@@ -32,6 +33,15 @@ type phaseResult struct {
 	Speedup      float64 `json:"speedup"`
 }
 
+// pipelineRun is one end-to-end SimilarPairs run instrumented with a
+// metrics Collector: the per-phase counters the observability layer
+// records, keyed by the Counter* names, plus wall-clock span seconds.
+type pipelineRun struct {
+	Algorithm    string             `json:"algorithm"`
+	Counters     map[string]int64   `json:"counters"`
+	PhaseSeconds map[string]float64 `json:"phase_seconds"`
+}
+
 type report struct {
 	Rows       int           `json:"rows"`
 	Cols       int           `json:"cols"`
@@ -40,6 +50,7 @@ type report struct {
 	Workers    int           `json:"workers"`
 	K          int           `json:"k"`
 	Phases     []phaseResult `json:"phases"`
+	Pipeline   []pipelineRun `json:"pipeline"`
 }
 
 func main() {
@@ -138,6 +149,29 @@ func run(out string, rows, cols, k, workers int) error {
 		rep.Phases = append(rep.Phases, r)
 		fmt.Fprintf(os.Stderr, "%-24s serial %12d ns/op  parallel %12d ns/op  speedup %.2fx\n",
 			r.Phase, r.SerialNsOp, r.ParallelNsOp, r.Speedup)
+	}
+	d := assocmine.WrapMatrix(m)
+	for _, algo := range []assocmine.Algorithm{assocmine.MinHash, assocmine.MinLSH} {
+		coll := assocmine.NewCollector()
+		_, err := assocmine.SimilarPairs(d, assocmine.Config{
+			Algorithm: algo, Threshold: 0.5, K: k, Seed: 7,
+			Workers: workers, Recorder: coll,
+		})
+		if err != nil {
+			return err
+		}
+		snap := coll.Snapshot()
+		run := pipelineRun{
+			Algorithm:    algo.String(),
+			Counters:     snap.Counters,
+			PhaseSeconds: map[string]float64{},
+		}
+		for name, sp := range snap.Spans {
+			run.PhaseSeconds[name] = sp.Total.Seconds()
+		}
+		rep.Pipeline = append(rep.Pipeline, run)
+		fmt.Fprintf(os.Stderr, "pipeline %-8s candidates %d, verified %d, false positives %d\n",
+			run.Algorithm, run.Counters["candidates"], run.Counters["pairs_verified"], run.Counters["false_positives"])
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

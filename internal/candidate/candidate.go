@@ -20,6 +20,7 @@ import (
 
 	"assocmine/internal/kminhash"
 	"assocmine/internal/minhash"
+	"assocmine/internal/obs"
 	"assocmine/internal/pairs"
 )
 
@@ -37,6 +38,13 @@ type Stats struct {
 // in at least ceil(cutoff*k) rows. cutoff is the required agreement
 // fraction, typically (1-δ)s*.
 func RowSortMH(sig *minhash.Signatures, cutoff float64) ([]pairs.Scored, Stats, error) {
+	return rowSortMH(sig, cutoff, nil)
+}
+
+// rowSortMH is RowSortMH with an optional progress hook: tick receives
+// (columns processed, total columns) every colChunk columns. The hook
+// does not change the output.
+func rowSortMH(sig *minhash.Signatures, cutoff float64, tick obs.Tick) ([]pairs.Scored, Stats, error) {
 	if cutoff <= 0 || cutoff > 1 {
 		return nil, Stats{}, fmt.Errorf("candidate: cutoff must be in (0,1], got %v", cutoff)
 	}
@@ -86,8 +94,14 @@ func RowSortMH(sig *minhash.Signatures, cutoff float64) ([]pairs.Scored, Stats, 
 			counts[j] = 0
 		}
 		touched = touched[:0]
+		if tick != nil && (i+1)%colChunk == 0 {
+			tick(int64(i+1), int64(m))
+		}
 	}
 	st.Candidates = len(out)
+	if tick != nil {
+		tick(int64(m), int64(m))
+	}
 	return out, st, nil
 }
 
@@ -161,6 +175,12 @@ type KMHOptions struct {
 // unbiased Theorem 2 estimator to survivors. The returned Estimate is
 // the unbiased one.
 func HashCountKMH(s *kminhash.Sketches, opt KMHOptions) ([]pairs.Scored, Stats, error) {
+	return hashCountKMH(s, opt, nil)
+}
+
+// hashCountKMH is HashCountKMH with an optional progress hook invoked
+// every colChunk columns with (columns processed, total columns).
+func hashCountKMH(s *kminhash.Sketches, opt KMHOptions, tick obs.Tick) ([]pairs.Scored, Stats, error) {
 	if opt.BiasedCutoff <= 0 || opt.BiasedCutoff > 1 {
 		return nil, Stats{}, fmt.Errorf("candidate: biased cutoff must be in (0,1], got %v", opt.BiasedCutoff)
 	}
@@ -198,8 +218,14 @@ func HashCountKMH(s *kminhash.Sketches, opt KMHOptions) ([]pairs.Scored, Stats, 
 			counts[j] = 0
 		}
 		touched = touched[:0]
+		if tick != nil && (i+1)%colChunk == 0 {
+			tick(int64(i+1), int64(m))
+		}
 	}
 	st.Candidates = len(out)
+	if tick != nil {
+		tick(int64(m), int64(m))
+	}
 	return out, st, nil
 }
 

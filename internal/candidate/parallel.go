@@ -17,6 +17,7 @@ import (
 
 	"assocmine/internal/kminhash"
 	"assocmine/internal/minhash"
+	"assocmine/internal/obs"
 	"assocmine/internal/pairs"
 )
 
@@ -71,11 +72,19 @@ func concatChunks(outs [][]pairs.Scored) []pairs.Scored {
 // Output and Stats are identical to RowSortMH for any worker count;
 // workers <= 1 runs the serial pass, negative means GOMAXPROCS.
 func RowSortMHParallel(sig *minhash.Signatures, cutoff float64, workers int) ([]pairs.Scored, Stats, error) {
+	return RowSortMHParallelProgress(sig, cutoff, workers, nil)
+}
+
+// RowSortMHParallelProgress is RowSortMHParallel with a progress hook:
+// tick (when non-nil) receives (columns counted, total columns), from
+// worker goroutines at chunk granularity in the parallel path and
+// inline in the serial path. Output and Stats are unaffected.
+func RowSortMHParallelProgress(sig *minhash.Signatures, cutoff float64, workers int, tick obs.Tick) ([]pairs.Scored, Stats, error) {
 	if workers < 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers <= 1 {
-		return RowSortMH(sig, cutoff)
+		return rowSortMH(sig, cutoff, tick)
 	}
 	if cutoff <= 0 || cutoff > 1 {
 		_, _, err := RowSortMH(sig, cutoff)
@@ -114,6 +123,7 @@ func RowSortMHParallel(sig *minhash.Signatures, cutoff float64, workers int) ([]
 	numChunks := (m + colChunk - 1) / colChunk
 	outs := make([][]pairs.Scored, numChunks)
 	incs := make([]int64, workers)
+	var done atomic.Int64
 	forEachChunk(m, workers, func(ck, lo, hi, worker int) {
 		counts := make([]int32, m)
 		touched := make([]int32, 0, 256)
@@ -148,6 +158,9 @@ func RowSortMHParallel(sig *minhash.Signatures, cutoff float64, workers int) ([]
 			touched = touched[:0]
 		}
 		outs[ck] = out
+		if tick != nil {
+			tick(done.Add(int64(hi-lo)), int64(m))
+		}
 	})
 
 	var st Stats
@@ -262,11 +275,17 @@ func HashCountMHParallel(sig *minhash.Signatures, cutoff float64, workers int) (
 // columns against the ascending prefix of every bucket and applies the
 // biased-then-unbiased estimator cascade exactly as the serial pass.
 func HashCountKMHParallel(s *kminhash.Sketches, opt KMHOptions, workers int) ([]pairs.Scored, Stats, error) {
+	return HashCountKMHParallelProgress(s, opt, workers, nil)
+}
+
+// HashCountKMHParallelProgress is HashCountKMHParallel with a progress
+// hook following the RowSortMHParallelProgress conventions.
+func HashCountKMHParallelProgress(s *kminhash.Sketches, opt KMHOptions, workers int, tick obs.Tick) ([]pairs.Scored, Stats, error) {
 	if workers < 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers <= 1 {
-		return HashCountKMH(s, opt)
+		return hashCountKMH(s, opt, tick)
 	}
 	if opt.BiasedCutoff <= 0 || opt.BiasedCutoff > 1 || opt.UnbiasedCutoff < 0 || opt.UnbiasedCutoff > 1 {
 		_, _, err := HashCountKMH(s, opt)
@@ -283,6 +302,7 @@ func HashCountKMHParallel(s *kminhash.Sketches, opt KMHOptions, workers int) ([]
 	numChunks := (m + colChunk - 1) / colChunk
 	outs := make([][]pairs.Scored, numChunks)
 	incs := make([]int64, workers)
+	var done atomic.Int64
 	forEachChunk(m, workers, func(ck, lo, hi, worker int) {
 		counts := make([]int32, m)
 		touched := make([]int32, 0, 256)
@@ -316,6 +336,9 @@ func HashCountKMHParallel(s *kminhash.Sketches, opt KMHOptions, workers int) ([]
 			touched = touched[:0]
 		}
 		outs[ck] = out
+		if tick != nil {
+			tick(done.Add(int64(hi-lo)), int64(m))
+		}
 	})
 
 	var st Stats

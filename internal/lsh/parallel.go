@@ -16,6 +16,7 @@ import (
 
 	"assocmine/internal/hashing"
 	"assocmine/internal/minhash"
+	"assocmine/internal/obs"
 	"assocmine/internal/pairs"
 )
 
@@ -24,29 +25,44 @@ import (
 // GOMAXPROCS. The candidate set, Bands, BucketPairs and Candidates
 // statistics are identical to the serial pass.
 func CandidatesParallel(sig *minhash.Signatures, r, l, workers int) (*pairs.Set, Stats, error) {
+	return CandidatesParallelProgress(sig, r, l, workers, nil)
+}
+
+// CandidatesParallelProgress is CandidatesParallel with a progress
+// hook: tick (when non-nil) receives (bands hashed, total bands), from
+// worker goroutines in the parallel path. The candidate set and Stats
+// are unaffected.
+func CandidatesParallelProgress(sig *minhash.Signatures, r, l, workers int, tick obs.Tick) (*pairs.Set, Stats, error) {
 	if err := checkRL(r, l); err != nil {
 		return nil, Stats{}, err
 	}
 	if sig.K < r*l {
 		return nil, Stats{}, fmt.Errorf("lsh: need k >= r*l = %d min-hash values, have %d (use SampledCandidates)", r*l, sig.K)
 	}
-	return bandCandidatesParallel(sig, disjointBands(r, l), workers)
+	return bandCandidatesParallel(sig, disjointBands(r, l), workers, tick)
 }
 
 // SampledCandidatesParallel is SampledCandidates with bands sharded
 // across workers; the band layout is drawn from the same sequential RNG
 // as the serial variant, so the two produce identical candidate sets.
 func SampledCandidatesParallel(sig *minhash.Signatures, r, l int, seed uint64, workers int) (*pairs.Set, Stats, error) {
+	return SampledCandidatesParallelProgress(sig, r, l, seed, workers, nil)
+}
+
+// SampledCandidatesParallelProgress is SampledCandidatesParallel with a
+// band-granularity progress hook following the
+// CandidatesParallelProgress conventions.
+func SampledCandidatesParallelProgress(sig *minhash.Signatures, r, l int, seed uint64, workers int, tick obs.Tick) (*pairs.Set, Stats, error) {
 	if err := checkRL(r, l); err != nil {
 		return nil, Stats{}, err
 	}
 	if sig.K < r {
 		return nil, Stats{}, fmt.Errorf("lsh: need k >= r = %d min-hash values, have %d", r, sig.K)
 	}
-	return bandCandidatesParallel(sig, sampledBands(sig.K, r, l, seed), workers)
+	return bandCandidatesParallel(sig, sampledBands(sig.K, r, l, seed), workers, tick)
 }
 
-func bandCandidatesParallel(sig *minhash.Signatures, bands [][]int, workers int) (*pairs.Set, Stats, error) {
+func bandCandidatesParallel(sig *minhash.Signatures, bands [][]int, workers int, tick obs.Tick) (*pairs.Set, Stats, error) {
 	if workers < 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -54,7 +70,15 @@ func bandCandidatesParallel(sig *minhash.Signatures, bands [][]int, workers int)
 		workers = len(bands)
 	}
 	if workers <= 1 {
-		return bandCandidates(sig, bands, nil)
+		var progress func(int, []pairs.Pair) bool
+		if tick != nil {
+			total := int64(len(bands))
+			progress = func(band int, _ []pairs.Pair) bool {
+				tick(int64(band+1), total)
+				return true
+			}
+		}
+		return bandCandidates(sig, bands, progress)
 	}
 
 	type bandOut struct {
@@ -63,6 +87,7 @@ func bandCandidatesParallel(sig *minhash.Signatures, bands [][]int, workers int)
 	}
 	outs := make([]bandOut, len(bands))
 	var next atomic.Int64
+	var bandsDone atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -109,6 +134,9 @@ func bandCandidatesParallel(sig *minhash.Signatures, bands [][]int, workers int)
 					}
 				}
 				outs[b] = bandOut{pairs: local, bucketPairs: attempts}
+				if tick != nil {
+					tick(bandsDone.Add(1), int64(len(bands)))
+				}
 			}
 		}()
 	}

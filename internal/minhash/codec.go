@@ -65,13 +65,28 @@ func ReadSignatures(r io.Reader) (*Signatures, uint64, error) {
 	if total > (1 << 34) {
 		return nil, 0, fmt.Errorf("minhash: signature matrix too large: %d values", total)
 	}
-	s := &Signatures{K: int(k), M: int(m), Vals: make([]uint64, total)}
+	// Grow the value slice as bytes actually arrive rather than trusting
+	// the header: a malformed (or hostile) header can claim up to 2^34
+	// values, and a single up-front make() of that size would allocate
+	// ~128 GiB before the short read is ever noticed.
+	const allocChunk = 1 << 20
+	s := &Signatures{K: int(k), M: int(m)}
 	var buf [8]byte
-	for i := range s.Vals {
+	for read := uint64(0); read < total; read++ {
 		if _, err := io.ReadFull(br, buf[:]); err != nil {
-			return nil, 0, fmt.Errorf("minhash: reading value %d: %w", i, err)
+			return nil, 0, fmt.Errorf("minhash: reading value %d: %w", read, err)
 		}
-		s.Vals[i] = binary.LittleEndian.Uint64(buf[:])
+		if uint64(len(s.Vals)) == read {
+			grow := total - read
+			if grow > allocChunk {
+				grow = allocChunk
+			}
+			s.Vals = append(s.Vals, make([]uint64, grow)...)
+		}
+		s.Vals[read] = binary.LittleEndian.Uint64(buf[:])
+	}
+	if s.Vals == nil && total == 0 {
+		s.Vals = []uint64{}
 	}
 	return s, seed, nil
 }

@@ -1,0 +1,54 @@
+package minhash
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadSignatures: any byte stream must either parse into valid
+// signatures or error — never panic, and never allocate anywhere near
+// the k·m the header claims before the data backs it up (a 32-byte
+// header may legally claim 2^34 values). Whatever parses must
+// round-trip through WriteTo bit-identically, seed included.
+func FuzzReadSignatures(f *testing.F) {
+	s := &Signatures{K: 2, M: 3, Vals: []uint64{1, 2, Empty, 4, 5, 6}}
+	var seed bytes.Buffer
+	if err := s.WriteTo(&seed, 42); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte(""))
+	f.Add([]byte("AMH1"))
+	// Header claiming 2^17 x 2^17 values with no data behind it.
+	hostile := append([]byte("AMH1"),
+		0, 0, 2, 0, 0, 0, 0, 0,
+		0, 0, 2, 0, 0, 0, 0, 0,
+		7, 0, 0, 0, 0, 0, 0, 0)
+	f.Add(hostile)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sig, sd, err := ReadSignatures(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(sig.Vals) != sig.K*sig.M {
+			t.Fatalf("parsed %d values for k=%d m=%d", len(sig.Vals), sig.K, sig.M)
+		}
+		var out bytes.Buffer
+		if err := sig.WriteTo(&out, sd); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		sig2, sd2, err := ReadSignatures(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if sd2 != sd || sig2.K != sig.K || sig2.M != sig.M {
+			t.Fatalf("round trip changed header: k=%d m=%d seed=%d vs k=%d m=%d seed=%d",
+				sig.K, sig.M, sd, sig2.K, sig2.M, sd2)
+		}
+		for i := range sig.Vals {
+			if sig.Vals[i] != sig2.Vals[i] {
+				t.Fatalf("value %d changed in round trip", i)
+			}
+		}
+	})
+}

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"assocmine/internal/hashing"
 	"assocmine/internal/matrix"
+	"assocmine/internal/obs"
 )
 
 // ComputeParallel computes the same signatures as Compute — bit for bit
@@ -17,6 +19,18 @@ import (
 // It requires the materialised matrix (streaming sources cannot be
 // range-partitioned); pass workers <= 0 for GOMAXPROCS.
 func ComputeParallel(m *matrix.Matrix, k int, seed uint64, workers int) (*Signatures, error) {
+	return ComputeParallelProgress(m, k, seed, workers, nil)
+}
+
+// progressStride is how many columns a worker signs between progress
+// ticks; coarse enough that the atomic add never shows up in profiles.
+const progressStride = 64
+
+// ComputeParallelProgress is ComputeParallel with a progress hook: tick
+// (when non-nil) receives (columns signed, total columns), invoked from
+// worker goroutines every progressStride columns. The signatures are
+// unaffected by the hook.
+func ComputeParallelProgress(m *matrix.Matrix, k int, seed uint64, workers int, tick obs.Tick) (*Signatures, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("minhash: k must be positive, got %d", k)
 	}
@@ -31,6 +45,7 @@ func ComputeParallel(m *matrix.Matrix, k int, seed uint64, workers int) (*Signat
 	hs := hashing.NewPermHashes(seed, k)
 
 	var wg sync.WaitGroup
+	var done atomic.Int64
 	chunk := (cols + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
@@ -60,6 +75,14 @@ func ComputeParallel(m *matrix.Matrix, k int, seed uint64, workers int) (*Signat
 						}
 					}
 					sig.Vals[l*cols+c] = minVal
+				}
+				if tick != nil && (c-lo+1)%progressStride == 0 {
+					tick(done.Add(progressStride), int64(cols))
+				}
+			}
+			if tick != nil {
+				if rem := int64((hi - lo) % progressStride); rem > 0 {
+					tick(done.Add(rem), int64(cols))
 				}
 			}
 		}(lo, hi)

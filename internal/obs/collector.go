@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// PhaseSpan aggregates the spans recorded for one phase: how many times
+// the phase ran and the total wall-clock spent in it.
+type PhaseSpan struct {
+	Count int64
+	Total time.Duration
+}
+
+// Snapshot is a point-in-time copy of a Collector's state.
+type Snapshot struct {
+	Counters map[string]int64
+	Gauges   map[string]int64
+	Spans    map[string]PhaseSpan
+	// CurrentPhase is the most recently started, not yet ended phase
+	// ("" when idle).
+	CurrentPhase string
+}
+
+// Collector is a thread-safe in-memory Recorder. A zero Collector is
+// not usable; construct with NewCollector. One Collector may observe
+// many runs (counters and spans accumulate); Reset starts it over.
+type Collector struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	gauges   map[string]int64
+	spans    map[string]PhaseSpan
+	current  string
+}
+
+// NewCollector returns an empty Collector.
+func NewCollector() *Collector {
+	return &Collector{
+		counters: make(map[string]int64),
+		gauges:   make(map[string]int64),
+		spans:    make(map[string]PhaseSpan),
+	}
+}
+
+// PhaseStart implements Recorder.
+func (c *Collector) PhaseStart(phase string) {
+	c.mu.Lock()
+	c.current = phase
+	c.mu.Unlock()
+}
+
+// PhaseEnd implements Recorder.
+func (c *Collector) PhaseEnd(phase string, d time.Duration) {
+	c.mu.Lock()
+	sp := c.spans[phase]
+	sp.Count++
+	sp.Total += d
+	c.spans[phase] = sp
+	if c.current == phase {
+		c.current = ""
+	}
+	c.mu.Unlock()
+}
+
+// Add implements Recorder.
+func (c *Collector) Add(counter string, n int64) {
+	c.mu.Lock()
+	c.counters[counter] += n
+	c.mu.Unlock()
+}
+
+// SetGauge implements Recorder.
+func (c *Collector) SetGauge(gauge string, v int64) {
+	c.mu.Lock()
+	c.gauges[gauge] = v
+	c.mu.Unlock()
+}
+
+// Counter returns the current value of a counter (0 if never added).
+func (c *Collector) Counter(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counters[name]
+}
+
+// Gauge returns the last value set for a gauge (0 if never set).
+func (c *Collector) Gauge(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gauges[name]
+}
+
+// Span returns the aggregated span for a phase.
+func (c *Collector) Span(phase string) PhaseSpan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.spans[phase]
+}
+
+// Snapshot returns a copy of all recorded state.
+func (c *Collector) Snapshot() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Snapshot{
+		Counters:     make(map[string]int64, len(c.counters)),
+		Gauges:       make(map[string]int64, len(c.gauges)),
+		Spans:        make(map[string]PhaseSpan, len(c.spans)),
+		CurrentPhase: c.current,
+	}
+	for k, v := range c.counters {
+		s.Counters[k] = v
+	}
+	for k, v := range c.gauges {
+		s.Gauges[k] = v
+	}
+	for k, v := range c.spans {
+		s.Spans[k] = v
+	}
+	return s
+}
+
+// Reset clears all recorded state.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	c.counters = make(map[string]int64)
+	c.gauges = make(map[string]int64)
+	c.spans = make(map[string]PhaseSpan)
+	c.current = ""
+	c.mu.Unlock()
+}

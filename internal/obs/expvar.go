@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"expvar"
+	"sync"
+)
+
+// ExpvarFunc returns an expvar.Func whose value is the collector's
+// Snapshot, so the full counter/gauge/span state appears as one JSON
+// object under /debug/vars.
+func (c *Collector) ExpvarFunc() expvar.Func {
+	return expvar.Func(func() any { return c.Snapshot() })
+}
+
+var (
+	publishMu sync.Mutex
+	published = map[string]bool{}
+)
+
+// Publish registers the collector under name in the process-wide expvar
+// registry. Unlike expvar.Publish it is idempotent: re-publishing a
+// name rebinds it to c instead of panicking, so CLIs and tests can call
+// it unconditionally.
+func Publish(name string, c *Collector) {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if published[name] {
+		// expvar has no unpublish; rebind through an indirection-free
+		// re-registration is impossible, so keep a forwarding layer.
+		rebind(name, c)
+		return
+	}
+	published[name] = true
+	targets[name] = c
+	expvar.Publish(name, expvar.Func(func() any { return lookup(name).Snapshot() }))
+}
+
+var targets = map[string]*Collector{}
+
+func rebind(name string, c *Collector) { targets[name] = c }
+
+func lookup(name string) *Collector {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	return targets[name]
+}

@@ -1,0 +1,108 @@
+// Package statstest measures the statistical accuracy of the
+// approximate similar-pairs schemes against exact ground truth on
+// seeded synthetic data with planted pairs. The paper's schemes trade
+// false negatives for speed; this harness quantifies the trade so the
+// test suite can pin it: recall over the comfortably-above-threshold
+// pairs (where the theory says misses should be rare) and the candidate
+// false-positive rate (which should shrink as sketches grow).
+//
+// Everything is deterministic in (scenario, Config): the generator,
+// hashing and band layouts are all seeded, so the asserted rates are
+// exact values, not flaky samples.
+package statstest
+
+import (
+	"fmt"
+
+	"assocmine"
+)
+
+// Outcome summarises one scheme run against BruteForce ground truth at
+// the same threshold.
+type Outcome struct {
+	// TruthPairs is the number of exact pairs at or above the query
+	// threshold; StrongPairs the subset with similarity >= the strong
+	// cutoff passed to Evaluate, and StrongFound how many of those the
+	// scheme returned.
+	TruthPairs  int
+	StrongPairs int
+	StrongFound int
+	// Found is the total pairs the scheme returned (verified, so every
+	// one is exact — approximate schemes can only under-report).
+	Found int
+	// Candidates and FalsePositives come from the run's Stats: pairs
+	// entering verification and pairs verification killed.
+	Candidates     int
+	FalsePositives int
+}
+
+// StrongRecall is the fraction of comfortably-above-threshold truth
+// pairs the scheme recovered (1.0 when there were none to find).
+func (o Outcome) StrongRecall() float64 {
+	if o.StrongPairs == 0 {
+		return 1
+	}
+	return float64(o.StrongFound) / float64(o.StrongPairs)
+}
+
+// Recall is the fraction of all truth pairs recovered.
+func (o Outcome) Recall() float64 {
+	if o.TruthPairs == 0 {
+		return 1
+	}
+	return float64(o.Found) / float64(o.TruthPairs)
+}
+
+// FPRate is the fraction of candidates that verification killed — the
+// cost the paper's Section 3 accuracy knobs (K, Delta) control.
+func (o Outcome) FPRate() float64 {
+	if o.Candidates == 0 {
+		return 0
+	}
+	return float64(o.FalsePositives) / float64(o.Candidates)
+}
+
+type pairKey struct{ i, j int }
+
+// Evaluate runs cfg against d and scores it against BruteForce ground
+// truth at cfg.Threshold. strongSim sets the "comfortably above
+// threshold" cutoff for StrongPairs/StrongRecall; it should sit above
+// the scheme's candidate cutoff (1-Delta)*Threshold so that theory
+// predicts near-perfect recall there.
+func Evaluate(d *assocmine.Dataset, cfg assocmine.Config, strongSim float64) (Outcome, error) {
+	if strongSim < cfg.Threshold {
+		return Outcome{}, fmt.Errorf("statstest: strongSim %v below threshold %v", strongSim, cfg.Threshold)
+	}
+	truth, err := assocmine.SimilarPairs(d, assocmine.Config{
+		Algorithm: assocmine.BruteForce,
+		Threshold: cfg.Threshold,
+		Workers:   cfg.Workers,
+	})
+	if err != nil {
+		return Outcome{}, fmt.Errorf("statstest: ground truth: %w", err)
+	}
+	res, err := assocmine.SimilarPairs(d, cfg)
+	if err != nil {
+		return Outcome{}, fmt.Errorf("statstest: %v run: %w", cfg.Algorithm, err)
+	}
+	found := make(map[pairKey]bool, len(res.Pairs))
+	for _, p := range res.Pairs {
+		found[pairKey{p.I, p.J}] = true
+	}
+	o := Outcome{
+		TruthPairs:     len(truth.Pairs),
+		Found:          len(res.Pairs),
+		Candidates:     res.Stats.Candidates,
+		FalsePositives: res.Stats.FalsePositives,
+	}
+	for _, p := range truth.Pairs {
+		if p.Similarity < strongSim {
+			continue
+		}
+		o.StrongPairs++
+		if found[pairKey{p.I, p.J}] {
+			o.StrongFound++
+		}
+	}
+	return o, nil
+}

@@ -48,7 +48,7 @@ func ExactBatchedParallel(src matrix.RowSource, cand []pairs.Scored, threshold f
 			err   error
 		)
 		if workers > 1 {
-			batch, st, err = exactParallel(src, cand[lo:hi], threshold, workers)
+			batch, st, err = exactParallel(src, cand[lo:hi], threshold, workers, nil)
 		} else {
 			batch, st, err = exactInto(src, cand[lo:hi], threshold, sc)
 		}

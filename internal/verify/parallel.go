@@ -21,8 +21,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"assocmine/internal/matrix"
+	"assocmine/internal/obs"
 	"assocmine/internal/pairs"
 )
 
@@ -32,13 +34,24 @@ import (
 // GOMAXPROCS. Small candidate lists are automatically run with fewer
 // workers (goroutine and fan-out overhead would dominate).
 func ExactParallel(src matrix.RowSource, cand []pairs.Scored, threshold float64, workers int) ([]pairs.Scored, Stats, error) {
+	return ExactParallelProgress(src, cand, threshold, workers, nil)
+}
+
+// ExactParallelProgress is ExactParallel with a progress hook: in the
+// concurrent-scan strategy tick (when non-nil) receives (candidate
+// pairs fully verified, total candidates) as each shard finishes its
+// scan, from worker goroutines. The serial and single-reader fan-out
+// strategies scan the data exactly once, so row-level progress belongs
+// to the source there — wrap it in a matrix.ProgressSource instead;
+// tick then only fires once at completion. Results are unaffected.
+func ExactParallelProgress(src matrix.RowSource, cand []pairs.Scored, threshold float64, workers int, tick obs.Tick) ([]pairs.Scored, Stats, error) {
 	if threshold < 0 || threshold > 1 {
 		return nil, Stats{}, fmt.Errorf("verify: threshold must be in [0,1], got %v", threshold)
 	}
 	if err := validateCandidates(src.NumCols(), 0, cand); err != nil {
 		return nil, Stats{}, err
 	}
-	return exactParallel(src, cand, threshold, workers)
+	return exactParallel(src, cand, threshold, workers, tick)
 }
 
 // ExactPairsParallel is ExactParallel for bare pairs.
@@ -55,7 +68,7 @@ func ExactPairsParallel(src matrix.RowSource, cand []pairs.Pair, threshold float
 const minShardCandidates = 32
 
 // exactParallel assumes cand is already validated.
-func exactParallel(src matrix.RowSource, cand []pairs.Scored, threshold float64, workers int) ([]pairs.Scored, Stats, error) {
+func exactParallel(src matrix.RowSource, cand []pairs.Scored, threshold float64, workers int, tick obs.Tick) ([]pairs.Scored, Stats, error) {
 	if workers < 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -63,7 +76,11 @@ func exactParallel(src matrix.RowSource, cand []pairs.Scored, threshold float64,
 		workers = maxUseful
 	}
 	if workers <= 1 {
-		return exactInto(src, cand, threshold, new(exactScratch))
+		out, st, err := exactInto(src, cand, threshold, new(exactScratch))
+		if err == nil && tick != nil {
+			tick(int64(len(cand)), int64(len(cand)))
+		}
+		return out, st, err
 	}
 
 	// Contiguous shards: concatenating shard outputs in order restores
@@ -84,16 +101,25 @@ func exactParallel(src matrix.RowSource, cand []pairs.Scored, threshold float64,
 
 	if cs, ok := src.(matrix.ConcurrentSource); ok && cs.ConcurrentScan() {
 		var wg sync.WaitGroup
+		var done atomic.Int64
 		for s, sh := range shards {
 			wg.Add(1)
 			go func(s, lo, hi int) {
 				defer wg.Done()
 				outs[s], stats[s], errs[s] = exactInto(src, cand[lo:hi], threshold, new(exactScratch))
+				if tick != nil && errs[s] == nil {
+					tick(done.Add(int64(hi-lo)), int64(len(cand)))
+				}
 			}(s, sh[0], sh[1])
 		}
 		wg.Wait()
-	} else if err := exactFanOut(src, cand, threshold, shards, outs, stats); err != nil {
-		return nil, Stats{}, err
+	} else {
+		if err := exactFanOut(src, cand, threshold, shards, outs, stats); err != nil {
+			return nil, Stats{}, err
+		}
+		if tick != nil {
+			tick(int64(len(cand)), int64(len(cand)))
+		}
 	}
 	for _, err := range errs {
 		if err != nil {

@@ -5,7 +5,8 @@ import (
 	"time"
 
 	"assocmine/internal/lsh"
-	"assocmine/internal/minhash"
+	"assocmine/internal/matrix"
+	"assocmine/internal/obs"
 	"assocmine/internal/pairs"
 	"assocmine/internal/verify"
 )
@@ -49,36 +50,45 @@ func ProgressiveSimilarPairs(d *Dataset, cfg Config, fn func(Progress) bool) (*R
 		return nil, fmt.Errorf("assocmine: progressive mining requires a callback")
 	}
 	st := Stats{Algorithm: MinLSH, SignatureWorkers: cfg.Workers, CandidateWorkers: 1, VerifyWorkers: cfg.Workers}
+	inner := obs.NewCollector()
+	rec := obs.Tee(inner, cfg.Recorder)
+	prog := newProgressSink(cfg.Progress)
+	stick := prog.enter(PhaseSignatures)
+	endSig := phaseSpan(rec, PhaseSignatures)
 	start := time.Now()
-	var sig *minhash.Signatures
-	var err error
-	if cfg.Workers > 1 {
-		sig, err = minhash.ComputeParallel(d.m, cfg.K, cfg.Seed, cfg.Workers)
-	} else {
-		sig, err = minhash.Compute(d.m.Stream(), cfg.K, cfg.Seed)
-	}
+	sig, err := computeMH(d.m.Stream(), func() (*matrix.Matrix, error) { return d.m, nil }, cfg, stick)
 	if err != nil {
 		return nil, err
 	}
-	st.SignatureTime = time.Since(start)
+	st.SignatureTime = endSig()
+	rec.SetGauge(obs.GaugeSignatureWorkers, int64(cfg.Workers))
+	rec.Add(obs.CounterSignatureCells, int64(sig.K)*int64(sig.M))
+	rec.SetGauge(obs.GaugeSignatureBytes, int64(len(sig.Vals))*8)
+	prog.finish(PhaseSignatures)
 
 	var all []Pair
 	var innerErr error
+	var touches int64
 	verifyPasses := 0
-	_, _, err = lsh.OnlineCandidates(sig, cfg.R, cfg.L, func(band int, fresh []pairs.Pair) bool {
+	ctick := prog.enter(PhaseCandidates)
+	_, lst, err := lsh.OnlineCandidates(sig, cfg.R, cfg.L, func(band int, fresh []pairs.Pair) bool {
 		vstart := time.Now()
 		if len(fresh) > 0 {
 			verifyPasses++ // ExactPairs scans the data only for non-empty batches
 		}
-		verified, _, err := verify.ExactPairsParallel(d.m.Stream(), fresh, cfg.Threshold, cfg.Workers)
+		verified, vst, err := verify.ExactPairsParallel(d.m.Stream(), fresh, cfg.Threshold, cfg.Workers)
 		st.VerifyTime += time.Since(vstart)
 		if err != nil {
 			innerErr = err
 			return false
 		}
 		st.Candidates += len(fresh)
+		touches += vst.Touches
 		batch := toPairs(verified, true)
 		all = append(all, batch...)
+		if ctick != nil {
+			ctick(int64(band+1), int64(cfg.L))
+		}
 		return fn(Progress{
 			Band:       band,
 			Bands:      cfg.L,
@@ -96,6 +106,26 @@ func ProgressiveSimilarPairs(d *Dataset, cfg Config, fn func(Progress) bool) (*R
 	st.Verified = len(all)
 	st.DataPasses = 1 + verifyPasses // signature pass + per-band verify passes
 	st.RowsScanned = int64(st.DataPasses) * int64(d.NumRows())
+	// The candidate and verify phases interleave band by band, so their
+	// spans are reported once at completion with the accumulated
+	// durations (the same values Stats records).
+	rec.PhaseStart(PhaseCandidates)
+	rec.PhaseEnd(PhaseCandidates, st.CandidateTime)
+	rec.PhaseStart(PhaseVerify)
+	rec.PhaseEnd(PhaseVerify, st.VerifyTime)
+	rec.SetGauge(obs.GaugeVerifyWorkers, int64(cfg.Workers))
+	rec.Add(obs.CounterBucketPairs, lst.BucketPairs)
+	rec.Add(obs.CounterVerifyTouches, touches)
+	rec.Add(obs.CounterDataPasses, int64(st.DataPasses))
+	rec.Add(obs.CounterRowsScanned, st.RowsScanned)
+	rec.Add(obs.CounterCandidates, int64(st.Candidates))
+	rec.Add(obs.CounterPairsVerified, int64(st.Verified))
+	st.FalsePositives = st.Candidates - st.Verified
+	rec.Add(obs.CounterFalsePositives, int64(st.FalsePositives))
+	prog.finish(PhaseCandidates)
+	prog.enter(PhaseVerify)
+	prog.finish(PhaseVerify)
+	st.fillFrom(inner)
 	sortPairsBySimilarity(all)
 	return &Result{Pairs: all, Stats: st}, nil
 }

@@ -3,11 +3,12 @@ package assocmine
 import (
 	"fmt"
 	"os"
-	"time"
 
 	"assocmine/internal/candidate"
 	"assocmine/internal/lsh"
+	"assocmine/internal/matrix"
 	"assocmine/internal/minhash"
+	"assocmine/internal/obs"
 	"assocmine/internal/pairs"
 	"assocmine/internal/verify"
 )
@@ -94,47 +95,76 @@ func SimilarPairsWithSignatures(d *Dataset, s *Signatures, cfg Config) (*Result,
 		return nil, err
 	}
 	st := Stats{Algorithm: cfg.Algorithm, SignatureWorkers: 1, CandidateWorkers: 1, VerifyWorkers: 1}
+	inner := obs.NewCollector()
+	rec := obs.Tee(inner, cfg.Recorder)
+	prog := newProgressSink(cfg.Progress)
+	// The signature phase was paid when the sketch was computed, so no
+	// signature span or cell counter here; the gauge still reports the
+	// sketch's resident size.
+	rec.SetGauge(obs.GaugeSignatureBytes, int64(len(s.sig.Vals))*8)
 	var cand []pairs.Scored
-	start := time.Now()
+	tick := prog.enter(PhaseCandidates)
+	end := phaseSpan(rec, PhaseCandidates)
 	switch cfg.Algorithm {
 	case MinHash:
 		cutoff := (1 - cfg.Delta) * cfg.Threshold
+		var cst candidate.Stats
 		var err error
-		cand, _, err = candidate.RowSortMHParallel(s.sig, cutoff, cfg.Workers)
+		cand, cst, err = candidate.RowSortMHParallelProgress(s.sig, cutoff, cfg.Workers, tick)
 		if err != nil {
 			return nil, err
 		}
+		rec.Add(obs.CounterIncrements, cst.Increments)
 	case MinLSH:
 		if s.sig.K < cfg.R*cfg.L {
 			return nil, fmt.Errorf("assocmine: sketch K=%d cannot host %d bands of %d rows", s.sig.K, cfg.L, cfg.R)
 		}
-		set, _, err := lsh.CandidatesParallel(s.sig, cfg.R, cfg.L, cfg.Workers)
+		set, lst, err := lsh.CandidatesParallelProgress(s.sig, cfg.R, cfg.L, cfg.Workers, tick)
 		if err != nil {
 			return nil, err
 		}
 		for _, p := range set.Slice() {
 			cand = append(cand, pairs.Scored{Pair: p})
 		}
+		rec.Add(obs.CounterBucketPairs, lst.BucketPairs)
 	default:
 		return nil, fmt.Errorf("assocmine: precomputed signatures support MinHash and MinLSH, got %v", cfg.Algorithm)
 	}
-	st.CandidateTime = time.Since(start)
+	st.CandidateTime = end()
 	st.CandidateWorkers = cfg.Workers
+	rec.SetGauge(obs.GaugeCandidateWorkers, int64(cfg.Workers))
+	prog.finish(PhaseCandidates)
 	st.Candidates = len(cand)
+	rec.Add(obs.CounterCandidates, int64(st.Candidates))
 	if cfg.SkipVerify {
 		pairs.SortScored(cand)
+		st.fillFrom(inner)
 		return &Result{Pairs: toPairs(cand, false), Stats: st}, nil
 	}
-	start = time.Now()
-	verified, _, err := verify.ExactParallel(d.m.Stream(), cand, cfg.Threshold, cfg.Workers)
+	tick = prog.enter(PhaseVerify)
+	end = phaseSpan(rec, PhaseVerify)
+	vsrc := matrix.RowSource(d.m.Stream())
+	if tick != nil {
+		vsrc = &matrix.ProgressSource{Src: vsrc, Tick: tick}
+	}
+	verified, vst, err := verify.ExactParallel(vsrc, cand, cfg.Threshold, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
-	st.VerifyTime = time.Since(start)
+	st.VerifyTime = end()
 	st.VerifyWorkers = cfg.Workers
+	rec.SetGauge(obs.GaugeVerifyWorkers, int64(cfg.Workers))
+	rec.Add(obs.CounterVerifyTouches, vst.Touches)
+	prog.finish(PhaseVerify)
 	st.Verified = len(verified)
+	st.FalsePositives = st.Candidates - st.Verified
 	st.DataPasses = 1
 	st.RowsScanned = int64(d.NumRows())
+	rec.Add(obs.CounterPairsVerified, int64(st.Verified))
+	rec.Add(obs.CounterFalsePositives, int64(st.FalsePositives))
+	rec.Add(obs.CounterDataPasses, 1)
+	rec.Add(obs.CounterRowsScanned, st.RowsScanned)
+	st.fillFrom(inner)
 	pairs.SortScored(verified)
 	return &Result{Pairs: toPairs(verified, true), Stats: st}, nil
 }

@@ -2,6 +2,8 @@ package assocmine
 
 import (
 	"fmt"
+
+	"assocmine/internal/obs"
 )
 
 // TopPairs returns the n most similar column pairs without requiring
@@ -35,7 +37,9 @@ func TopPairs(d *Dataset, n int, cfg Config, minThreshold float64) ([]Pair, erro
 	if cfg.Threshold < minThreshold {
 		return nil, fmt.Errorf("assocmine: starting threshold %v below floor %v", cfg.Threshold, minThreshold)
 	}
+	rec := obs.OrNop(cfg.Recorder)
 	for {
+		rec.Add(obs.CounterTopPairsAttempts, 1)
 		res, err := SimilarPairs(d, cfg)
 		if err != nil {
 			return nil, err
