@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check statcheck race race-all vet fmt bench bench-json experiments experiments-full fuzz clean
+.PHONY: all build test check statcheck streamcheck race race-all vet fmt bench bench-json experiments experiments-full fuzz clean
 
 all: build vet test
 
@@ -12,12 +12,20 @@ build:
 test:
 	$(GO) test ./...
 
-check: build vet test race statcheck
+check: build vet test race statcheck streamcheck
 
 # The statistical-accuracy suite (recall / false-positive-rate bounds
 # on seeded synthetic matrices; deterministic).
 statcheck:
 	$(GO) test ./internal/statstest
+
+# The out-of-core suite under the race detector: streamed pipeline
+# bit-identical to in-memory (differential harness), budgeted
+# verification spills and still matches, streamed kernels and the shard
+# fan-out agree with their serial counterparts.
+streamcheck:
+	$(GO) test -race -run 'TestStreamed' .
+	$(GO) test -race -run 'TestExactBudgeted|TestComputeStream|TestFanOutShards|TestScanShards|TestFileSourceBytesRead' ./internal/verify ./internal/minhash ./internal/kminhash ./internal/matrix
 
 # Race-detect the packages with concurrent code paths (fast); race-all
 # covers the whole tree.

@@ -94,6 +94,13 @@ type Config struct {
 	// unlimited. When exceeded, SimilarPairs returns
 	// apriori.ErrMemoryBudget (the paper's Fig. 4 "-" entries).
 	AprioriMemoryBudget int64
+	// MemoryBudget bounds the verification counter table in bytes; zero
+	// means unlimited. When the table for all candidates would exceed
+	// the budget, the exact pass keeps a bounded table and spills sorted
+	// runs of partial counts to disk, merging them after its single
+	// scan — results are bit-identical either way, and Stats reports the
+	// spill activity (SpillRuns, SpillBytes).
+	MemoryBudget int64
 	// Seed drives all hashing; runs are deterministic in (data, Config).
 	Seed uint64
 	// SkipVerify returns raw candidates without the exact pruning pass
@@ -104,10 +111,10 @@ type Config struct {
 	// bit-identical to the serial run. 0 or 1 means serial; negative
 	// means GOMAXPROCS (setDefaults normalises both, so after
 	// validation Workers is always >= 1). Streaming FileDataset runs
-	// materialise the matrix for the signature phase when Workers > 1,
-	// trading memory for CPU; verification of a streaming source
-	// instead fans the single row pass out to the workers, so it stays
-	// one sequential scan.
+	// stay out of core at every worker count: both the signature and
+	// verification phases fan their single sequential row pass out to
+	// the workers in bounded shards, never materialising the matrix
+	// (HammingLSH excepted — its fold ladder is a whole-data structure).
 	Workers int
 	// Recorder, when non-nil, receives per-phase spans, counters and
 	// gauges as the run progresses (see the Counter*/Gauge*/Phase*
@@ -233,6 +240,18 @@ type Stats struct {
 	// (0 when SkipVerify).
 	VerifyTouches  int64
 	FalsePositives int
+
+	// BytesRead totals file bytes read across all passes (0 for
+	// in-memory sources). ShardsStreamed counts the bounded row blocks
+	// the streamed fan-outs broadcast to workers (0 when every pass
+	// scanned rows directly).
+	BytesRead      int64
+	ShardsStreamed int64
+	// SpillRuns and SpillBytes report the sorted runs the budgeted
+	// verification pass wrote to disk (both 0 when the counter table
+	// stayed within Config.MemoryBudget, or no budget was set).
+	SpillRuns  int64
+	SpillBytes int64
 }
 
 // Total returns the end-to-end running time.
@@ -270,6 +289,13 @@ func similarPairs(rawSrc matrix.RowSource, materialize func() (*matrix.Matrix, e
 	prog := newProgressSink(cfg.Progress)
 	st := Stats{Algorithm: cfg.Algorithm, SignatureWorkers: 1, CandidateWorkers: 1, VerifyWorkers: 1}
 	phase := func(name string) func() time.Duration { return phaseSpan(rec, name) }
+	// File-backed sources expose their cumulative byte count; the delta
+	// across the run is this run's I/O volume.
+	byteSrc, _ := rawSrc.(matrix.ByteCounter)
+	var bytesAtStart int64
+	if byteSrc != nil {
+		bytesAtStart = byteSrc.BytesRead()
+	}
 	finish := func(res *Result) *Result {
 		res.Stats.DataPasses = counting.Passes
 		res.Stats.RowsScanned = counting.Rows
@@ -278,6 +304,11 @@ func similarPairs(rawSrc matrix.RowSource, materialize func() (*matrix.Matrix, e
 		rec.Add(obs.CounterCandidates, int64(res.Stats.Candidates))
 		rec.Add(obs.CounterPairsVerified, int64(res.Stats.Verified))
 		rec.Add(obs.CounterFalsePositives, int64(res.Stats.FalsePositives))
+		if byteSrc != nil {
+			if n := byteSrc.BytesRead() - bytesAtStart; n > 0 {
+				rec.Add(obs.CounterBytesRead, n)
+			}
+		}
 		res.Stats.fillFrom(inner)
 		return res
 	}
@@ -304,7 +335,7 @@ func similarPairs(rawSrc matrix.RowSource, materialize func() (*matrix.Matrix, e
 	case MinHash:
 		tick := prog.enter(PhaseSignatures)
 		end := phase(PhaseSignatures)
-		sig, err := computeMH(src, materialize, cfg, tick)
+		sig, sigShards, err := computeMH(src, rawSrc, materialize, cfg, tick)
 		if err != nil {
 			return nil, err
 		}
@@ -312,6 +343,7 @@ func similarPairs(rawSrc matrix.RowSource, materialize func() (*matrix.Matrix, e
 		st.SignatureWorkers = cfg.Workers
 		rec.SetGauge(obs.GaugeSignatureWorkers, int64(cfg.Workers))
 		rec.Add(obs.CounterSignatureCells, int64(sig.K)*int64(sig.M))
+		addNonzero(rec, obs.CounterShards, sigShards)
 		rec.SetGauge(obs.GaugeSignatureBytes, int64(len(sig.Vals))*8)
 		prog.finish(PhaseSignatures)
 		tick = prog.enter(PhaseCandidates)
@@ -331,13 +363,14 @@ func similarPairs(rawSrc matrix.RowSource, materialize func() (*matrix.Matrix, e
 	case KMinHash:
 		tick := prog.enter(PhaseSignatures)
 		end := phase(PhaseSignatures)
-		sk, err := computeKMH(src, materialize, cfg, tick)
+		sk, sigShards, err := computeKMH(src, rawSrc, materialize, cfg, tick)
 		if err != nil {
 			return nil, err
 		}
 		st.SignatureTime = end()
 		st.SignatureWorkers = cfg.Workers
 		rec.SetGauge(obs.GaugeSignatureWorkers, int64(cfg.Workers))
+		addNonzero(rec, obs.CounterShards, sigShards)
 		var cells int64
 		for _, s := range sk.Sigs {
 			cells += int64(len(s))
@@ -367,7 +400,7 @@ func similarPairs(rawSrc matrix.RowSource, materialize func() (*matrix.Matrix, e
 		tick := prog.enter(PhaseSignatures)
 		end := phase(PhaseSignatures)
 		exactBands := cfg.K >= cfg.R*cfg.L
-		sig, err := computeMH(src, materialize, cfg, tick)
+		sig, sigShards, err := computeMH(src, rawSrc, materialize, cfg, tick)
 		if err != nil {
 			return nil, err
 		}
@@ -375,6 +408,7 @@ func similarPairs(rawSrc matrix.RowSource, materialize func() (*matrix.Matrix, e
 		st.SignatureWorkers = cfg.Workers
 		rec.SetGauge(obs.GaugeSignatureWorkers, int64(cfg.Workers))
 		rec.Add(obs.CounterSignatureCells, int64(sig.K)*int64(sig.M))
+		addNonzero(rec, obs.CounterShards, sigShards)
 		rec.SetGauge(obs.GaugeSignatureBytes, int64(len(sig.Vals))*8)
 		prog.finish(PhaseSignatures)
 		tick = prog.enter(PhaseCandidates)
@@ -459,12 +493,14 @@ func similarPairs(rawSrc matrix.RowSource, materialize func() (*matrix.Matrix, e
 	end := phase(PhaseVerify)
 	// In-memory sources let every verify worker run its own scan, which
 	// beats fanning the counted stream out; account the pass by hand so
-	// DataPasses/RowsScanned match the serial run.
+	// DataPasses/RowsScanned match the serial run. A memory budget
+	// forces the single-scan budgeted pass instead: its bounded table
+	// plus spills is the point, and concurrent scans would multiply it.
 	vsrc := src
 	var verified []pairs.Scored
 	var vst verify.Stats
 	var err error
-	if cs, ok := rawSrc.(matrix.ConcurrentSource); ok && cs.ConcurrentScan() && cfg.Workers > 1 && len(cand) > 0 {
+	if cs, ok := rawSrc.(matrix.ConcurrentSource); ok && cs.ConcurrentScan() && cfg.Workers > 1 && len(cand) > 0 && cfg.MemoryBudget <= 0 {
 		counting.Passes++
 		counting.Rows += int64(rawSrc.NumRows())
 		verified, vst, err = verify.ExactParallelProgress(rawSrc, cand, cfg.Threshold, cfg.Workers, tick)
@@ -472,7 +508,11 @@ func similarPairs(rawSrc matrix.RowSource, materialize func() (*matrix.Matrix, e
 		if tick != nil {
 			vsrc = &matrix.ProgressSource{Src: vsrc, Tick: tick}
 		}
-		verified, vst, err = verify.ExactParallel(vsrc, cand, cfg.Threshold, cfg.Workers)
+		if cfg.MemoryBudget > 0 {
+			verified, vst, err = verify.ExactBudgeted(vsrc, cand, cfg.Threshold, verify.Budget{Bytes: cfg.MemoryBudget}, cfg.Workers, nil)
+		} else {
+			verified, vst, err = verify.ExactParallel(vsrc, cand, cfg.Threshold, cfg.Workers)
+		}
 	}
 	if err != nil {
 		return nil, err
@@ -481,11 +521,22 @@ func similarPairs(rawSrc matrix.RowSource, materialize func() (*matrix.Matrix, e
 	st.VerifyWorkers = cfg.Workers
 	rec.SetGauge(obs.GaugeVerifyWorkers, int64(cfg.Workers))
 	rec.Add(obs.CounterVerifyTouches, vst.Touches)
+	addNonzero(rec, obs.CounterShards, vst.Shards)
+	addNonzero(rec, obs.CounterSpillRuns, vst.SpillRuns)
+	addNonzero(rec, obs.CounterSpillBytes, vst.SpillBytes)
 	prog.finish(PhaseVerify)
 	st.Verified = len(verified)
 	st.FalsePositives = len(cand) - len(verified)
 	pairs.SortScored(verified)
 	return finish(&Result{Pairs: toPairs(verified, true), Stats: st}), nil
+}
+
+// addNonzero records n only when it is nonzero, so runs that never
+// stream or spill keep those counters out of their metrics entirely.
+func addNonzero(rec obs.Recorder, counter string, n int64) {
+	if n != 0 {
+		rec.Add(counter, n)
+	}
 }
 
 // phaseSpan opens a recorder span for one pipeline phase; the returned
@@ -509,40 +560,65 @@ func (s *Stats) fillFrom(c *Collector) {
 	s.CandidateIncrements = c.Counter(CounterIncrements)
 	s.BucketPairs = c.Counter(CounterBucketPairs)
 	s.VerifyTouches = c.Counter(CounterVerifyTouches)
+	s.BytesRead = c.Counter(CounterBytesRead)
+	s.ShardsStreamed = c.Counter(CounterShards)
+	s.SpillRuns = c.Counter(CounterSpillRuns)
+	s.SpillBytes = c.Counter(CounterSpillBytes)
 }
 
 // computeMH runs the MH signature pass, parallel when cfg.Workers asks
-// for it (which requires the materialised matrix). cfg.Workers is
-// already normalised by setDefaults, so <= 1 means serial. tick, when
-// non-nil, receives row progress (serial) or column progress (parallel).
-func computeMH(src matrix.RowSource, materialize func() (*matrix.Matrix, error), cfg Config, tick obs.Tick) (*minhash.Signatures, error) {
+// for it. cfg.Workers is already normalised by setDefaults, so <= 1
+// means serial. In-memory sources (rawSrc supports concurrent scans)
+// parallelise over the materialised column-major matrix; streaming
+// sources fold rows incrementally from one fanned-out sequential pass,
+// never materialising — the returned count is the row shards that pass
+// broadcast (0 otherwise). tick, when non-nil, receives row progress
+// (serial, streamed) or column progress (materialised parallel).
+func computeMH(src, rawSrc matrix.RowSource, materialize func() (*matrix.Matrix, error), cfg Config, tick obs.Tick) (*minhash.Signatures, int64, error) {
 	if cfg.Workers <= 1 {
 		if tick != nil {
 			src = &matrix.ProgressSource{Src: src, Tick: tick}
 		}
-		return minhash.Compute(src, cfg.K, cfg.Seed)
+		sig, err := minhash.Compute(src, cfg.K, cfg.Seed)
+		return sig, 0, err
 	}
-	m, err := materialize()
-	if err != nil {
-		return nil, err
+	if cs, ok := rawSrc.(matrix.ConcurrentSource); ok && cs.ConcurrentScan() {
+		m, err := materialize()
+		if err != nil {
+			return nil, 0, err
+		}
+		sig, err := minhash.ComputeParallelProgress(m, cfg.K, cfg.Seed, cfg.Workers, tick)
+		return sig, 0, err
 	}
-	return minhash.ComputeParallelProgress(m, cfg.K, cfg.Seed, cfg.Workers, tick)
+	if tick != nil {
+		src = &matrix.ProgressSource{Src: src, Tick: tick}
+	}
+	return minhash.ComputeStream(src, cfg.K, cfg.Seed, cfg.Workers)
 }
 
-// computeKMH is computeMH for bottom-k sketches; the parallel pass has
-// no fine-grained hooks, so progress there completes in one step.
-func computeKMH(src matrix.RowSource, materialize func() (*matrix.Matrix, error), cfg Config, tick obs.Tick) (*kminhash.Sketches, error) {
+// computeKMH is computeMH for bottom-k sketches; the materialised
+// parallel pass has no fine-grained hooks, so progress there completes
+// in one step.
+func computeKMH(src, rawSrc matrix.RowSource, materialize func() (*matrix.Matrix, error), cfg Config, tick obs.Tick) (*kminhash.Sketches, int64, error) {
 	if cfg.Workers <= 1 {
 		if tick != nil {
 			src = &matrix.ProgressSource{Src: src, Tick: tick}
 		}
-		return kminhash.Compute(src, cfg.K, cfg.Seed)
+		sk, err := kminhash.Compute(src, cfg.K, cfg.Seed)
+		return sk, 0, err
 	}
-	m, err := materialize()
-	if err != nil {
-		return nil, err
+	if cs, ok := rawSrc.(matrix.ConcurrentSource); ok && cs.ConcurrentScan() {
+		m, err := materialize()
+		if err != nil {
+			return nil, 0, err
+		}
+		sk, err := kminhash.ComputeParallel(m, cfg.K, cfg.Seed, cfg.Workers)
+		return sk, 0, err
 	}
-	return kminhash.ComputeParallel(m, cfg.K, cfg.Seed, cfg.Workers)
+	if tick != nil {
+		src = &matrix.ProgressSource{Src: src, Tick: tick}
+	}
+	return kminhash.ComputeStream(src, cfg.K, cfg.Seed, cfg.Workers)
 }
 
 func toPairs(ps []pairs.Scored, verified bool) []Pair {

@@ -78,6 +78,11 @@ func TestGoldenOutput(t *testing.T) {
 		{"mlsh", options{in: data, algo: "mlsh", threshold: 0.5, k: 80, r: 5, l: 16, seed: 3, top: 10, stats: true, metrics: true}},
 		{"brute", options{in: data, algo: "brute", threshold: 0.5, top: 10, stats: true}},
 		{"stream-kmh", options{in: data, algo: "kmh", threshold: 0.5, k: 80, seed: 3, top: 10, stats: true, stream: true}},
+		{"stream-mh", options{in: data, algo: "mh", threshold: 0.5, k: 80, seed: 3, top: 10, stats: true, metrics: true, stream: true}},
+		// threshold 0.1 admits ~44 candidates, whose counter table
+		// overflows the 128-byte budget — the golden locks in nonzero
+		// spill activity in both the stats line and the metrics.
+		{"stream-budget", options{in: data, algo: "mh", threshold: 0.1, k: 80, seed: 3, top: 5, stats: true, metrics: true, stream: true, memBudget: "128"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

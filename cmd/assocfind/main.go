@@ -6,6 +6,7 @@
 //	assocfind -in data.amx -algo mlsh -threshold 0.7
 //	assocfind -in data.amx -algo mh -threshold 0.6 -workers -1
 //	assocfind -in data.arows -algo kmh -threshold 0.5 -k 200 -stream
+//	assocfind -in data.arows -algo mh -threshold 0.5 -stream -workers -1 -mem-budget 64M
 //	assocfind -in baskets.txt -transactions -algo mh -threshold 0.8 -clusters
 //	assocfind -in data.amx -rules -confidence 0.9
 //	assocfind -in data.amx -algo apriori -threshold 0.5 -support 0.01
@@ -20,6 +21,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"runtime/trace"
+	"strconv"
 	"strings"
 
 	"assocmine"
@@ -38,6 +40,7 @@ type options struct {
 	conf        float64
 	stats       bool
 	stream      bool
+	memBudget   string
 	txns        bool
 	clusters    bool
 	metrics     bool
@@ -64,6 +67,7 @@ func main() {
 	flag.Float64Var(&o.conf, "confidence", 0.9, "rules only: confidence threshold")
 	flag.BoolVar(&o.stats, "stats", true, "print phase statistics")
 	flag.BoolVar(&o.stream, "stream", false, "mine directly from disk (one file pass per phase; .txt or .arows)")
+	flag.StringVar(&o.memBudget, "mem-budget", "", "verification counter-table budget, e.g. 64K, 16M, 1G (bytes if no suffix); empty or 0 = unlimited. When the candidate counters exceed it, the exact pass spills sorted runs to disk")
 	flag.BoolVar(&o.txns, "transactions", false, "input is named-transaction format (item names per line)")
 	flag.BoolVar(&o.clusters, "clusters", false, "also group the found pairs into column clusters")
 	flag.BoolVar(&o.metrics, "metrics", false, "print per-phase metrics in Prometheus text format after the run")
@@ -167,9 +171,14 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
+	budget, err := parseByteSize(o.memBudget)
+	if err != nil {
+		return fmt.Errorf("-mem-budget: %w", err)
+	}
 	cfg := assocmine.Config{
 		Algorithm: a, Threshold: o.threshold, K: o.k, R: o.r, L: o.l,
 		MinSupport: o.support, Seed: o.seed, Workers: o.workers,
+		MemoryBudget: budget,
 	}
 	var coll *assocmine.Collector
 	if o.metrics || o.metricsAddr != "" {
@@ -332,5 +341,53 @@ func printStats(s assocmine.Stats) {
 	if s.SignatureWorkers > 1 || s.CandidateWorkers > 1 || s.VerifyWorkers > 1 {
 		fmt.Printf("workers: signatures %d, candidates %d, verification %d\n",
 			s.SignatureWorkers, s.CandidateWorkers, s.VerifyWorkers)
+	}
+	if s.BytesRead > 0 || s.ShardsStreamed > 0 || s.SpillRuns > 0 {
+		fmt.Printf("out-of-core: %s read, %d shards streamed, %d spill runs (%s)\n",
+			formatBytes(s.BytesRead), s.ShardsStreamed, s.SpillRuns, formatBytes(s.SpillBytes))
+	}
+}
+
+// parseByteSize parses a human-friendly byte count: a plain integer, or
+// an integer with a K/M/G suffix (powers of 1024, optional trailing B,
+// case-insensitive). Empty means 0.
+func parseByteSize(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	u := strings.ToUpper(s)
+	u = strings.TrimSuffix(u, "B")
+	shift := 0
+	switch {
+	case strings.HasSuffix(u, "K"):
+		shift, u = 10, u[:len(u)-1]
+	case strings.HasSuffix(u, "M"):
+		shift, u = 20, u[:len(u)-1]
+	case strings.HasSuffix(u, "G"):
+		shift, u = 30, u[:len(u)-1]
+	}
+	n, err := strconv.ParseInt(u, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("invalid size %q", s)
+	}
+	if n > (1<<62)>>shift {
+		return 0, fmt.Errorf("size %q overflows", s)
+	}
+	return n << shift, nil
+}
+
+// formatBytes renders n in the largest binary unit that keeps it exact
+// enough to read (one decimal).
+func formatBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
 	}
 }

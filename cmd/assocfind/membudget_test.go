@@ -1,0 +1,56 @@
+package main
+
+import "testing"
+
+func TestParseByteSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		ok   bool
+	}{
+		{"", 0, true},
+		{"0", 0, true},
+		{"4096", 4096, true},
+		{" 4096 ", 4096, true},
+		{"64K", 64 << 10, true},
+		{"64k", 64 << 10, true},
+		{"64KB", 64 << 10, true},
+		{"16M", 16 << 20, true},
+		{"16mb", 16 << 20, true},
+		{"1G", 1 << 30, true},
+		{"2GB", 2 << 30, true},
+		{"-1", 0, false},
+		{"12Q", 0, false},
+		{"K", 0, false},
+		{"1.5M", 0, false},
+		{"9999999999999G", 0, false},
+	}
+	for _, tc := range cases {
+		got, err := parseByteSize(tc.in)
+		if tc.ok != (err == nil) {
+			t.Errorf("parseByteSize(%q): err = %v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if tc.ok && got != tc.want {
+			t.Errorf("parseByteSize(%q) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want string
+	}{
+		{0, "0 B"},
+		{512, "512 B"},
+		{2048, "2.0 KiB"},
+		{3 << 20, "3.0 MiB"},
+		{5 << 30, "5.0 GiB"},
+	}
+	for _, tc := range cases {
+		if got := formatBytes(tc.in); got != tc.want {
+			t.Errorf("formatBytes(%d) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}

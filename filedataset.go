@@ -63,7 +63,7 @@ func (f *FileDataset) materialize() (*matrix.Matrix, error) {
 		f.mat, f.err = matrix.Collect(f.src)
 	})
 	if f.err != nil {
-		return nil, fmt.Errorf("assocmine: materialising file dataset: %w", f.err)
+		return nil, fmt.Errorf("assocmine: materialising file dataset %s: %w", f.src.Path(), f.err)
 	}
 	return f.mat, nil
 }

@@ -33,6 +33,9 @@ func FuzzOpenFileDataset(f *testing.F) {
 			f.Fatal(err)
 		}
 		f.Add(data, p == arows)
+		// Truncated variants: valid header, stream cut short mid-row.
+		f.Add(data[:len(data)/2], p == arows)
+		f.Add(data[:3*len(data)/4], p == arows)
 	}
 	f.Add([]byte(""), true)
 	f.Add([]byte("AROW"), true)

@@ -1,7 +1,9 @@
 package assocmine
 
 import (
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -83,6 +85,57 @@ func TestFileDatasetLoad(t *testing.T) {
 	}
 	if again.m != loaded.m {
 		t.Error("Load did not cache the materialised matrix")
+	}
+}
+
+// TestFileDatasetTruncated: a file cut short mid-stream must fail both
+// loading and streamed mining with an error naming the file, so the
+// user can tell which input of a multi-file job is damaged.
+func TestFileDatasetTruncated(t *testing.T) {
+	for _, ext := range []string{".txt", ".arows"} {
+		t.Run(ext, func(t *testing.T) {
+			d, _, err := GenerateSynthetic(SyntheticOptions{Rows: 200, Cols: 30, PairsPerRange: 1, Seed: 51})
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(t.TempDir(), "trunc"+ext)
+			if ext == ".arows" {
+				err = d.SaveRowBinary(path)
+			} else {
+				err = d.Save(path)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			info, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(path, info.Size()/2); err != nil {
+				t.Fatal(err)
+			}
+			fd, err := OpenFileDataset(path)
+			if err != nil {
+				t.Fatalf("header of half-truncated file should still parse: %v", err)
+			}
+			if _, err := fd.Load(); err == nil {
+				t.Fatal("Load succeeded on truncated file")
+			} else if !strings.Contains(err.Error(), path) {
+				t.Fatalf("Load error does not name the file: %v", err)
+			}
+			_, err = fd.SimilarPairs(Config{Algorithm: MinHash, Threshold: 0.5, K: 20, Seed: 3})
+			if err == nil {
+				t.Fatal("streamed mining succeeded on truncated file")
+			}
+			if !strings.Contains(err.Error(), path) {
+				t.Fatalf("streamed error does not name the file: %v", err)
+			}
+			// The parallel streamed path must surface the same failure.
+			_, err = fd.SimilarPairs(Config{Algorithm: MinHash, Threshold: 0.5, K: 20, Seed: 3, Workers: 4})
+			if err == nil || !strings.Contains(err.Error(), path) {
+				t.Fatalf("parallel streamed error does not name the file: %v", err)
+			}
+		})
 	}
 }
 

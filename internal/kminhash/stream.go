@@ -1,0 +1,96 @@
+package kminhash
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync/atomic"
+
+	"assocmine/internal/hashing"
+	"assocmine/internal/matrix"
+)
+
+// ComputeStream computes the same bottom-k sketches as Compute — bit
+// for bit — in ONE sequential pass over src, with the per-column heap
+// maintenance fanned out across workers. Unlike ComputeParallel it
+// never materialises the matrix: a single reader streams bounded shards
+// (matrix.FanOutShards) and each worker owns a contiguous column range,
+// updating only the heaps and sizes of its columns. Rows arrive in scan
+// order for every worker, so each column's heap evolves exactly as in
+// the serial pass, including the Updates count.
+//
+// Returns the sketches and the number of shards streamed. workers <= 0
+// means GOMAXPROCS.
+func ComputeStream(src matrix.RowSource, k int, seed uint64, workers int) (*Sketches, int64, error) {
+	if k <= 0 {
+		return nil, 0, fmt.Errorf("kminhash: k must be positive, got %d", k)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	m := src.NumCols()
+	if workers > m {
+		workers = m
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	s := &Sketches{
+		K:        k,
+		Sigs:     make([][]uint64, m),
+		ColSizes: make([]int, m),
+	}
+	h := hashing.NewPermHash(seed)
+	var updates atomic.Int64
+
+	chunk := (m + workers - 1) / workers
+	consumers := make([]func(<-chan *matrix.Shard), 0, workers)
+	for cLo := 0; cLo < m; cLo += chunk {
+		cHi := cLo + chunk
+		if cHi > m {
+			cHi = m
+		}
+		lo, hi := int32(cLo), int32(cHi)
+		consumers = append(consumers, func(ch <-chan *matrix.Shard) {
+			var local int64
+			for sh := range ch {
+				for i := 0; i < sh.Len(); i++ {
+					row, cols := sh.Row(i)
+					// Columns are sorted; binary-search to this worker's
+					// range so dense rows don't cost every worker a full
+					// scan.
+					start := sort.Search(len(cols), func(j int) bool { return cols[j] >= lo })
+					if start == len(cols) || cols[start] >= hi {
+						continue
+					}
+					v := h.Row(int(row))
+					for _, c := range cols[start:] {
+						if c >= hi {
+							break
+						}
+						s.ColSizes[c]++
+						heap := s.Sigs[c]
+						if len(heap) < k {
+							s.Sigs[c] = pushMaxHeap(heap, v)
+							local++
+						} else if v < heap[0] {
+							replaceMaxHeapRoot(heap, v)
+							local++
+						}
+					}
+				}
+			}
+			for c := lo; c < hi; c++ {
+				sig := s.Sigs[c]
+				sort.Slice(sig, func(a, b int) bool { return sig[a] < sig[b] })
+			}
+			updates.Add(local)
+		})
+	}
+	shards, err := matrix.FanOutShards(src, 0, 0, consumers)
+	if err != nil {
+		return nil, shards, err
+	}
+	s.Updates = updates.Load()
+	return s, shards, nil
+}

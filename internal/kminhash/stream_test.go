@@ -1,0 +1,66 @@
+package kminhash
+
+import (
+	"testing"
+
+	"assocmine/internal/hashing"
+	"assocmine/internal/matrix"
+)
+
+func streamFixture(rows, cols int, seed uint64) *matrix.SliceSource {
+	rng := hashing.NewSplitMix64(seed)
+	out := make([][]int32, rows)
+	for r := range out {
+		var row []int32
+		for c := 0; c < cols; c++ {
+			if rng.Intn(5) == 0 {
+				row = append(row, int32(c))
+			}
+		}
+		out[r] = row
+	}
+	return &matrix.SliceSource{Cols: cols, Rows: out}
+}
+
+// TestComputeStreamBitIdentical: the streamed fan-out must reproduce the
+// serial sketches exactly — signatures, column sizes, and even the
+// Updates counter (each column's heap sees rows in the same order).
+func TestComputeStreamBitIdentical(t *testing.T) {
+	src := streamFixture(900, 70, 17)
+	const k = 16
+	want, err := Compute(src, k, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 5, 8, 100} {
+		got, shards, err := ComputeStream(src, k, 9, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if shards <= 0 {
+			t.Errorf("workers=%d: %d shards streamed", workers, shards)
+		}
+		if got.Updates != want.Updates {
+			t.Errorf("workers=%d: Updates = %d, want %d", workers, got.Updates, want.Updates)
+		}
+		for c := range want.Sigs {
+			if got.ColSizes[c] != want.ColSizes[c] {
+				t.Fatalf("workers=%d: ColSizes[%d] = %d, want %d", workers, c, got.ColSizes[c], want.ColSizes[c])
+			}
+			if len(got.Sigs[c]) != len(want.Sigs[c]) {
+				t.Fatalf("workers=%d: col %d sketch has %d values, want %d", workers, c, len(got.Sigs[c]), len(want.Sigs[c]))
+			}
+			for i := range want.Sigs[c] {
+				if got.Sigs[c][i] != want.Sigs[c][i] {
+					t.Fatalf("workers=%d: col %d value %d differs", workers, c, i)
+				}
+			}
+		}
+	}
+}
+
+func TestComputeStreamBadK(t *testing.T) {
+	if _, _, err := ComputeStream(streamFixture(5, 5, 1), -1, 1, 2); err == nil {
+		t.Error("k=-1 accepted")
+	}
+}

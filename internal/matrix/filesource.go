@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 )
 
 // FileSource is a RowSource that streams rows directly from a dataset
@@ -26,6 +27,34 @@ type FileSource struct {
 	binary bool
 	rows   int
 	cols   int
+
+	bytesRead atomic.Int64
+}
+
+// Path returns the file the source streams from.
+func (fs *FileSource) Path() string { return fs.path }
+
+// BytesRead returns the cumulative bytes read from disk by Scan passes
+// over this source. Safe for concurrent use.
+func (fs *FileSource) BytesRead() int64 { return fs.bytesRead.Load() }
+
+// ByteCounter is implemented by sources that can report the disk bytes
+// their scans have consumed — the I/O the out-of-core path accounts in
+// Stats.BytesRead and the bytes_read counter.
+type ByteCounter interface {
+	BytesRead() int64
+}
+
+// countingReader counts bytes as they leave the underlying reader.
+type countingReader struct {
+	r io.Reader
+	n *atomic.Int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n.Add(int64(n))
+	return n, err
 }
 
 // OpenFileSource validates the file header and returns a FileSource.
@@ -78,9 +107,12 @@ func (fs *FileSource) Scan(fn func(row int, cols []int32) error) error {
 		return err
 	}
 	defer f.Close()
-	br := bufio.NewReaderSize(f, 1<<16)
+	br := bufio.NewReaderSize(&countingReader{r: f, n: &fs.bytesRead}, 1<<16)
 	if fs.binary {
-		return scanRowBinary(br, fs.rows, fs.cols, fn)
+		if err := scanRowBinary(br, fs.rows, fs.cols, fn); err != nil {
+			return fmt.Errorf("%s: %w", fs.path, err)
+		}
+		return nil
 	}
 	// Skip the two header lines.
 	for i := 0; i < 2; i++ {

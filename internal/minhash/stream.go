@@ -1,0 +1,80 @@
+package minhash
+
+import (
+	"fmt"
+	"runtime"
+
+	"assocmine/internal/hashing"
+	"assocmine/internal/matrix"
+)
+
+// ComputeStream computes the same signatures as Compute — bit for bit —
+// in ONE sequential pass over src, folding each row into the signature
+// matrix incrementally, with the work fanned out across workers. Unlike
+// ComputeParallel it never needs the materialised matrix: a single
+// reader streams bounded shards (matrix.FanOutShards) and each worker
+// owns a contiguous range of hash indices, writing a disjoint region of
+// the k×m value array. The minimum over a column's rows is independent
+// of how the hash indices are split, so any worker count yields the
+// serial result exactly. Memory stays O(k·m) for the signatures plus a
+// constant number of in-flight shards.
+//
+// Returns the signatures and the number of shards streamed. workers <=
+// 0 means GOMAXPROCS; one worker still streams shard-by-shard (the
+// degenerate fan-out), which keeps accounting uniform.
+func ComputeStream(src matrix.RowSource, k int, seed uint64, workers int) (*Signatures, int64, error) {
+	if k <= 0 {
+		return nil, 0, fmt.Errorf("minhash: k must be positive, got %d", k)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > k {
+		workers = k
+	}
+	m := src.NumCols()
+	sig := &Signatures{K: k, M: m, Vals: make([]uint64, k*m)}
+	for i := range sig.Vals {
+		sig.Vals[i] = Empty
+	}
+	hs := hashing.NewPermHashes(seed, k)
+
+	// Contiguous hash-index ranges: worker w folds rows into
+	// Vals[lLo*m : lHi*m), so writes never overlap.
+	chunk := (k + workers - 1) / workers
+	consumers := make([]func(<-chan *matrix.Shard), 0, workers)
+	for lLo := 0; lLo < k; lLo += chunk {
+		lHi := lLo + chunk
+		if lHi > k {
+			lHi = k
+		}
+		lLo := lLo
+		consumers = append(consumers, func(ch <-chan *matrix.Shard) {
+			rowVals := make([]uint64, lHi-lLo)
+			for sh := range ch {
+				for i := 0; i < sh.Len(); i++ {
+					row, cols := sh.Row(i)
+					if len(cols) == 0 {
+						continue
+					}
+					for l := lLo; l < lHi; l++ {
+						rowVals[l-lLo] = hs[l].Row(int(row))
+					}
+					for _, c := range cols {
+						for l := lLo; l < lHi; l++ {
+							p := l*m + int(c)
+							if v := rowVals[l-lLo]; v < sig.Vals[p] {
+								sig.Vals[p] = v
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+	shards, err := matrix.FanOutShards(src, 0, 0, consumers)
+	if err != nil {
+		return nil, shards, err
+	}
+	return sig, shards, nil
+}

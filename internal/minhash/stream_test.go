@@ -1,0 +1,74 @@
+package minhash
+
+import (
+	"testing"
+
+	"assocmine/internal/hashing"
+	"assocmine/internal/matrix"
+)
+
+func streamFixture(rows, cols int, seed uint64) *matrix.SliceSource {
+	rng := hashing.NewSplitMix64(seed)
+	out := make([][]int32, rows)
+	for r := range out {
+		var row []int32
+		for c := 0; c < cols; c++ {
+			if rng.Intn(4) == 0 {
+				row = append(row, int32(c))
+			}
+		}
+		out[r] = row
+	}
+	return &matrix.SliceSource{Cols: cols, Rows: out}
+}
+
+// TestComputeStreamBitIdentical: the streamed fan-out must reproduce the
+// serial signatures exactly for any worker count, including worker
+// counts above k.
+func TestComputeStreamBitIdentical(t *testing.T) {
+	src := streamFixture(700, 60, 11)
+	const k = 24
+	want, err := Compute(src, k, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 3, 8, k + 7} {
+		got, shards, err := ComputeStream(src, k, 5, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if shards <= 0 {
+			t.Errorf("workers=%d: %d shards streamed", workers, shards)
+		}
+		if got.K != want.K || got.M != want.M {
+			t.Fatalf("workers=%d: shape %dx%d, want %dx%d", workers, got.K, got.M, want.K, want.M)
+		}
+		for i := range want.Vals {
+			if got.Vals[i] != want.Vals[i] {
+				t.Fatalf("workers=%d: Vals[%d] = %d, want %d", workers, i, got.Vals[i], want.Vals[i])
+			}
+		}
+	}
+}
+
+// TestComputeStreamEmptyColumns: untouched columns keep the sentinel.
+func TestComputeStreamEmptyColumns(t *testing.T) {
+	src := &matrix.SliceSource{Cols: 5, Rows: [][]int32{{0, 2}, {0}, {}}}
+	sig, _, err := ComputeStream(src, 8, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := 0; l < sig.K; l++ {
+		for _, c := range []int{1, 3, 4} {
+			if sig.Value(l, c) != Empty {
+				t.Fatalf("empty column %d has value at hash %d", c, l)
+			}
+		}
+	}
+}
+
+func TestComputeStreamBadK(t *testing.T) {
+	if _, _, err := ComputeStream(streamFixture(5, 5, 1), 0, 1, 2); err == nil {
+		t.Error("k=0 accepted")
+	}
+}

@@ -55,6 +55,17 @@ const (
 	// CounterTopPairsAttempts counts threshold-lowering retries of a
 	// TopPairs query.
 	CounterTopPairsAttempts = "toppairs_attempts"
+	// CounterBytesRead totals file bytes read across all data passes
+	// (absent for in-memory sources, which read no files).
+	CounterBytesRead = "bytes_read"
+	// CounterShards counts the bounded row blocks the streamed fan-out
+	// strategies broadcast to workers.
+	CounterShards = "shards_streamed"
+	// CounterSpillRuns and CounterSpillBytes report the sorted runs the
+	// budgeted verification pass spilled to disk when its counter table
+	// exceeded Config.MemoryBudget.
+	CounterSpillRuns  = "spill_runs"
+	CounterSpillBytes = "spill_bytes"
 )
 
 // Gauge names. Gauges record the last value set.

@@ -1,0 +1,432 @@
+// Budgeted verification: the same exact pruning pass as Exact, but with
+// the candidate counter table held in bounded memory. The paper assumes
+// "all of the candidates can fit in main memory"; when they do not, the
+// pass keeps a bounded table of the recently-touched candidates and,
+// whenever the table would exceed its budget, spills it to disk as a
+// sorted run of (candidate index, either, both) partial counts. Because
+// counters are pure sums and spills happen only at row boundaries, the
+// external merge of all runs at the end of the single data pass
+// reconstructs exactly the counts the unbounded pass would have
+// produced — results are bit-identical to Exact for any budget, worker
+// count, or spill schedule.
+package verify
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+
+	"assocmine/internal/matrix"
+	"assocmine/internal/obs"
+	"assocmine/internal/pairs"
+)
+
+// Budget bounds the memory of the verification counter table.
+type Budget struct {
+	// Bytes is the counter-table budget in bytes; <= 0 means unlimited
+	// (no spilling). The candidate list itself and the per-column
+	// candidate index are inputs and are not charged against it.
+	Bytes int64
+	// Dir receives the spill runs; "" means the OS temp directory. Run
+	// files are deleted before the call returns.
+	Dir string
+}
+
+const (
+	// denseCounterBytes is the per-candidate cost of the unbounded
+	// scratch (either, both, lastRow int32): when the whole table fits
+	// the budget, the plain path is used and nothing spills.
+	denseCounterBytes = 12
+	// spillEntryBytes is the accounted per-entry cost of the bounded
+	// table in spill mode (key, counters, and map overhead).
+	spillEntryBytes = 48
+	// minSpillEntries keeps pathological budgets from spilling after
+	// every row.
+	minSpillEntries = 16
+)
+
+// ExactBudgeted is Exact with the counter table bounded by budget.Bytes.
+// When the table for all candidates fits the budget (or the budget is
+// unlimited) it delegates to the plain parallel pass; otherwise it runs
+// the single-scan spill strategy: each worker owns a contiguous
+// candidate shard and a bounded counter table, spilling sorted runs of
+// partial counts to disk and merging them after the pass. Results are
+// bit-identical to Exact; Stats reports the spill activity.
+func ExactBudgeted(src matrix.RowSource, cand []pairs.Scored, threshold float64, budget Budget, workers int, tick obs.Tick) ([]pairs.Scored, Stats, error) {
+	if threshold < 0 || threshold > 1 {
+		return nil, Stats{}, fmt.Errorf("verify: threshold must be in [0,1], got %v", threshold)
+	}
+	if err := validateCandidates(src.NumCols(), 0, cand); err != nil {
+		return nil, Stats{}, err
+	}
+	if budget.Bytes <= 0 || int64(len(cand))*denseCounterBytes <= budget.Bytes {
+		return exactParallel(src, cand, threshold, workers, tick)
+	}
+	out, st, err := exactSpill(src, cand, threshold, budget, workers)
+	if err == nil && tick != nil {
+		tick(int64(len(cand)), int64(len(cand)))
+	}
+	return out, st, err
+}
+
+// spillCounter is one bounded-table entry. lastRowP1 stores row+1 so
+// the zero value means "never touched" (row ids start at 0).
+type spillCounter struct {
+	either, both, lastRowP1 int32
+}
+
+// spillEntry is one aggregated (or in-memory) run record.
+type spillEntry struct {
+	idx          int32
+	either, both int32
+}
+
+// exactSpill runs the bounded-memory strategy. Candidates are sharded
+// contiguously across workers exactly like exactParallel, so
+// concatenating shard outputs restores the serial emission order.
+func exactSpill(src matrix.RowSource, cand []pairs.Scored, threshold float64, budget Budget, workers int) ([]pairs.Scored, Stats, error) {
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if maxUseful := (len(cand) + minShardCandidates - 1) / minShardCandidates; workers > maxUseful {
+		workers = maxUseful
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	chunk := (len(cand) + workers - 1) / workers
+	var shards [][2]int
+	for lo := 0; lo < len(cand); lo += chunk {
+		hi := lo + chunk
+		if hi > len(cand) {
+			hi = len(cand)
+		}
+		shards = append(shards, [2]int{lo, hi})
+	}
+	share := budget.Bytes / int64(len(shards))
+	maxEntries := int(share / spillEntryBytes)
+	if maxEntries < minSpillEntries {
+		maxEntries = minSpillEntries
+	}
+
+	m := src.NumCols()
+	ws := make([]*budgetWorker, len(shards))
+	for s, sh := range shards {
+		ws[s] = newBudgetWorker(m, cand[sh[0]:sh[1]], threshold, maxEntries, budget.Dir)
+	}
+	defer func() {
+		for _, w := range ws {
+			w.cleanup()
+		}
+	}()
+
+	var streamed int64
+	if len(ws) == 1 {
+		// Serial: scan rows straight into the single worker.
+		w := ws[0]
+		err := src.Scan(func(row int, cols []int32) error {
+			return w.processRow(int32(row), cols)
+		})
+		if err != nil {
+			return nil, Stats{}, err
+		}
+	} else {
+		consumers := make([]func(<-chan *matrix.Shard), len(ws))
+		for s, w := range ws {
+			w := w
+			consumers[s] = func(ch <-chan *matrix.Shard) {
+				for sh := range ch {
+					if w.err != nil {
+						continue // drain; the scan cannot be aborted per-worker
+					}
+					for i := 0; i < sh.Len(); i++ {
+						r, cols := sh.Row(i)
+						if w.processRow(r, cols) != nil {
+							break
+						}
+					}
+				}
+			}
+		}
+		var err error
+		streamed, err = matrix.FanOutShards(src, 0, 0, consumers)
+		if err != nil {
+			return nil, Stats{}, err
+		}
+	}
+
+	total := Stats{In: len(cand), Shards: streamed}
+	out := make([]pairs.Scored, 0, len(cand)/4)
+	for _, w := range ws {
+		shardOut, err := w.finish()
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		out = append(out, shardOut...)
+		total.Touches += w.st.Touches
+		total.SpillRuns += w.st.SpillRuns
+		total.SpillBytes += w.st.SpillBytes
+	}
+	total.Out = len(out)
+	return out, total, nil
+}
+
+// budgetWorker verifies one contiguous candidate shard with a bounded
+// counter table.
+type budgetWorker struct {
+	cand       []pairs.Scored
+	threshold  float64
+	pairsOf    [][]int32
+	table      map[int32]spillCounter
+	maxEntries int
+	dir        string
+	runs       []*os.File
+	st         Stats
+	err        error
+}
+
+func newBudgetWorker(m int, cand []pairs.Scored, threshold float64, maxEntries int, dir string) *budgetWorker {
+	w := &budgetWorker{
+		cand:       cand,
+		threshold:  threshold,
+		pairsOf:    make([][]int32, m),
+		table:      make(map[int32]spillCounter, maxEntries),
+		maxEntries: maxEntries,
+		dir:        dir,
+	}
+	for idx, p := range cand {
+		w.pairsOf[p.I] = append(w.pairsOf[p.I], int32(idx))
+		w.pairsOf[p.J] = append(w.pairsOf[p.J], int32(idx))
+	}
+	return w
+}
+
+// processRow folds one row into the table, spilling afterwards if the
+// row pushed the table over budget. Spills happen only at row
+// boundaries: within a row the second-endpoint detection needs the
+// first endpoint's entry resident, so the table may transiently exceed
+// the bound by the candidates one row touches.
+func (w *budgetWorker) processRow(r int32, cols []int32) error {
+	if w.err != nil {
+		return w.err
+	}
+	for _, c := range cols {
+		for _, idx := range w.pairsOf[c] {
+			w.st.Touches++
+			e := w.table[idx]
+			if e.lastRowP1 == r+1 {
+				e.both++
+			} else {
+				e.lastRowP1 = r + 1
+				e.either++
+			}
+			w.table[idx] = e
+		}
+	}
+	if len(w.table) > w.maxEntries {
+		if err := w.spill(); err != nil {
+			w.err = err
+			return err
+		}
+	}
+	return nil
+}
+
+// spill writes the table as one sorted run and resets it.
+func (w *budgetWorker) spill() error {
+	entries := w.sortedEntries()
+	f, err := os.CreateTemp(w.dir, "assocmine-spill-*.run")
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	var buf [binary.MaxVarintLen64]byte
+	var written int64
+	for _, e := range entries {
+		for _, v := range [3]uint64{uint64(uint32(e.idx)), uint64(e.either), uint64(e.both)} {
+			n := binary.PutUvarint(buf[:], v)
+			if _, err := bw.Write(buf[:n]); err != nil {
+				f.Close()
+				return err
+			}
+			written += int64(n)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	w.runs = append(w.runs, f)
+	w.st.SpillRuns++
+	w.st.SpillBytes += written
+	w.table = make(map[int32]spillCounter, w.maxEntries)
+	return nil
+}
+
+// sortedEntries snapshots the table in increasing candidate order.
+func (w *budgetWorker) sortedEntries() []spillEntry {
+	entries := make([]spillEntry, 0, len(w.table))
+	for idx, e := range w.table {
+		entries = append(entries, spillEntry{idx: idx, either: e.either, both: e.both})
+	}
+	sort.Slice(entries, func(a, b int) bool { return entries[a].idx < entries[b].idx })
+	return entries
+}
+
+// finish merges the in-memory table with every spilled run and emits
+// the surviving pairs in candidate order.
+func (w *budgetWorker) finish() ([]pairs.Scored, error) {
+	if w.err != nil {
+		return nil, w.err
+	}
+	resident := w.sortedEntries()
+	out := make([]pairs.Scored, 0, len(w.cand)/4)
+	emit := func(e spillEntry) {
+		if e.either == 0 {
+			return
+		}
+		if s := float64(e.both) / float64(e.either); s >= w.threshold {
+			p := w.cand[e.idx]
+			p.Exact = s
+			out = append(out, p)
+		}
+	}
+	if len(w.runs) == 0 {
+		for _, e := range resident {
+			emit(e)
+		}
+		w.st.Out = len(out)
+		return out, nil
+	}
+
+	cursors := make([]*runCursor, 0, len(w.runs)+1)
+	for _, f := range w.runs {
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return nil, err
+		}
+		cursors = append(cursors, &runCursor{br: bufio.NewReader(f)})
+	}
+	cursors = append(cursors, &runCursor{mem: resident})
+	h := make(cursorHeap, 0, len(cursors))
+	for _, c := range cursors {
+		ok, err := c.advance()
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			h = append(h, c)
+		}
+	}
+	h.init()
+	acc := spillEntry{idx: -1}
+	for len(h) > 0 {
+		c := h[0]
+		if c.cur.idx != acc.idx {
+			emit(acc)
+			acc = c.cur
+		} else {
+			acc.either += c.cur.either
+			acc.both += c.cur.both
+		}
+		ok, err := c.advance()
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			h.fix(0)
+		} else {
+			h.pop()
+		}
+	}
+	emit(acc)
+	w.st.Out = len(out)
+	return out, nil
+}
+
+// cleanup closes and deletes the run files.
+func (w *budgetWorker) cleanup() {
+	for _, f := range w.runs {
+		name := f.Name()
+		f.Close()
+		os.Remove(name)
+	}
+	w.runs = nil
+}
+
+// runCursor streams one sorted run — file-backed or the in-memory
+// remainder of the table.
+type runCursor struct {
+	br  *bufio.Reader
+	mem []spillEntry
+	pos int
+	cur spillEntry
+}
+
+// advance loads the next entry, reporting whether one was available.
+func (c *runCursor) advance() (bool, error) {
+	if c.br == nil {
+		if c.pos >= len(c.mem) {
+			return false, nil
+		}
+		c.cur = c.mem[c.pos]
+		c.pos++
+		return true, nil
+	}
+	idx, err := binary.ReadUvarint(c.br)
+	if err == io.EOF {
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("verify: reading spill run: %w", err)
+	}
+	either, err := binary.ReadUvarint(c.br)
+	if err != nil {
+		return false, fmt.Errorf("verify: reading spill run: %w", err)
+	}
+	both, err := binary.ReadUvarint(c.br)
+	if err != nil {
+		return false, fmt.Errorf("verify: reading spill run: %w", err)
+	}
+	c.cur = spillEntry{idx: int32(uint32(idx)), either: int32(either), both: int32(both)}
+	return true, nil
+}
+
+// cursorHeap is a minimal binary min-heap of cursors by current index.
+type cursorHeap []*runCursor
+
+func (h cursorHeap) less(a, b int) bool { return h[a].cur.idx < h[b].cur.idx }
+
+func (h cursorHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.fix(i)
+	}
+}
+
+func (h cursorHeap) fix(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h) && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(h) && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+}
+
+func (h *cursorHeap) pop() {
+	old := *h
+	old[0] = old[len(old)-1]
+	*h = old[:len(old)-1]
+	h.fix(0)
+}

@@ -1,0 +1,128 @@
+package verify
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"assocmine/internal/hashing"
+	"assocmine/internal/pairs"
+)
+
+// TestExactBudgetedMatchesExact: a budget far below the dense table
+// forces spills, and the merged result must still be bit-identical to
+// the unbounded serial pass at every worker count.
+func TestExactBudgetedMatchesExact(t *testing.T) {
+	rng := hashing.NewSplitMix64(19)
+	m := randomMatrix(rng, 600, 60, 0.1)
+	cand := allPairsCandidates(60) // 1770 candidates: dense table ~21 KB
+	want, wantSt, err := Exact(m.Stream(), cand, 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("fixture produced no surviving pairs; test would be vacuous")
+	}
+	budget := Budget{Bytes: 4 << 10, Dir: t.TempDir()}
+	for _, workers := range []int{1, 2, 4, -1} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			got, st, err := ExactBudgeted(m.Stream(), cand, 0.03, budget, workers, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("output differs from Exact: %d pairs vs %d", len(got), len(want))
+			}
+			if st.SpillRuns <= 0 || st.SpillBytes <= 0 {
+				t.Fatalf("no spill with budget %d: %+v", budget.Bytes, st)
+			}
+			if st.In != wantSt.In || st.Out != wantSt.Out || st.Touches != wantSt.Touches {
+				t.Fatalf("stats %+v, want In/Out/Touches of %+v", st, wantSt)
+			}
+		})
+	}
+}
+
+// TestExactBudgetedDeterministic: same inputs, same spill schedule,
+// same byte counts — runs are sorted before writing.
+func TestExactBudgetedDeterministic(t *testing.T) {
+	rng := hashing.NewSplitMix64(23)
+	m := randomMatrix(rng, 400, 40, 0.15)
+	cand := allPairsCandidates(40)
+	budget := Budget{Bytes: 2 << 10, Dir: t.TempDir()}
+	_, st1, err := ExactBudgeted(m.Stream(), cand, 0.1, budget, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st2, err := ExactBudgeted(m.Stream(), cand, 0.1, budget, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1 != st2 {
+		t.Fatalf("spill accounting not deterministic: %+v vs %+v", st1, st2)
+	}
+	if st1.SpillRuns == 0 {
+		t.Fatal("expected spills")
+	}
+}
+
+// TestExactBudgetedFitsInBudget: when the dense table fits, the call
+// delegates to the plain pass and nothing touches disk.
+func TestExactBudgetedFitsInBudget(t *testing.T) {
+	rng := hashing.NewSplitMix64(29)
+	m := randomMatrix(rng, 300, 30, 0.15)
+	cand := allPairsCandidates(30)
+	want, wantSt, err := Exact(m.Stream(), cand, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bytes := range []int64{0, -1, 1 << 30} {
+		got, st, err := ExactBudgeted(m.Stream(), cand, 0.05, Budget{Bytes: bytes}, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("bytes=%d: output differs from Exact", bytes)
+		}
+		if st.SpillRuns != 0 || st.SpillBytes != 0 {
+			t.Fatalf("bytes=%d: unexpected spill: %+v", bytes, st)
+		}
+		if st.Touches != wantSt.Touches {
+			t.Fatalf("bytes=%d: touches %d, want %d", bytes, st.Touches, wantSt.Touches)
+		}
+	}
+}
+
+func TestExactBudgetedEmptyAndErrors(t *testing.T) {
+	rng := hashing.NewSplitMix64(31)
+	m := randomMatrix(rng, 50, 10, 0.2)
+	budget := Budget{Bytes: 256}
+	out, st, err := ExactBudgeted(m.Stream(), nil, 0.5, budget, 4, nil)
+	if err != nil || out != nil || st.In != 0 || st.Out != 0 {
+		t.Fatalf("empty list: got %v, %+v, %v", out, st, err)
+	}
+	if _, _, err := ExactBudgeted(m.Stream(), nil, 1.5, budget, 1, nil); err == nil {
+		t.Error("bad threshold accepted")
+	}
+	bad := []pairs.Scored{{Pair: pairs.Pair{I: 0, J: 99}}}
+	if _, _, err := ExactBudgeted(m.Stream(), bad, 0.5, budget, 1, nil); err == nil {
+		t.Error("out-of-range candidate accepted")
+	}
+	self := []pairs.Scored{{Pair: pairs.Pair{I: 3, J: 3}}}
+	if _, _, err := ExactBudgeted(m.Stream(), self, 0.5, budget, 1, nil); err == nil {
+		t.Error("self pair accepted")
+	}
+}
+
+func TestExactBudgetedPropagatesScanError(t *testing.T) {
+	boom := errors.New("boom")
+	cand := allPairsCandidates(8)
+	for _, workers := range []int{1, 4} {
+		src := &failingSource{rows: 100, cols: 8, failAt: 40, err: boom}
+		_, _, err := ExactBudgeted(src, cand, 0.5, Budget{Bytes: 256}, workers, nil)
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: want scan error, got %v", workers, err)
+		}
+	}
+}

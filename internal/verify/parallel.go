@@ -99,6 +99,7 @@ func exactParallel(src matrix.RowSource, cand []pairs.Scored, threshold float64,
 	stats := make([]Stats, len(shards))
 	errs := make([]error, len(shards))
 
+	var streamedShards int64
 	if cs, ok := src.(matrix.ConcurrentSource); ok && cs.ConcurrentScan() {
 		var wg sync.WaitGroup
 		var done atomic.Int64
@@ -114,7 +115,9 @@ func exactParallel(src matrix.RowSource, cand []pairs.Scored, threshold float64,
 		}
 		wg.Wait()
 	} else {
-		if err := exactFanOut(src, cand, threshold, shards, outs, stats); err != nil {
+		var err error
+		streamedShards, err = exactFanOut(src, cand, threshold, shards, outs, stats)
+		if err != nil {
 			return nil, Stats{}, err
 		}
 		if tick != nil {
@@ -127,7 +130,7 @@ func exactParallel(src matrix.RowSource, cand []pairs.Scored, threshold float64,
 		}
 	}
 
-	total := Stats{In: len(cand)}
+	total := Stats{In: len(cand), Shards: streamedShards}
 	n := 0
 	for s := range outs {
 		total.Touches += stats[s].Touches
@@ -141,32 +144,17 @@ func exactParallel(src matrix.RowSource, cand []pairs.Scored, threshold float64,
 	return out, total, nil
 }
 
-// rowBatch carries a copied block of rows from the single reader to
-// every shard worker: rows[i] spans cols[offs[i]:offs[i+1]].
-type rowBatch struct {
-	rows []int32
-	offs []int32
-	cols []int32
-}
-
-const (
-	batchRows = 512
-	batchCols = 8192
-)
-
-// exactFanOut runs the streaming strategy: one Scan of src, with each
-// row block broadcast to all shard workers. Workers keep their counters
-// across batches (row ids are globally unique, so the lastRow trick is
-// unaffected by batch boundaries).
-func exactFanOut(src matrix.RowSource, cand []pairs.Scored, threshold float64, shards [][2]int, outs [][]pairs.Scored, stats []Stats) error {
+// exactFanOut runs the streaming strategy: one Scan of src chunked into
+// bounded shards (matrix.FanOutShards), with each shard broadcast to
+// all shard workers. Workers keep their counters across shards (row ids
+// are globally unique, so the lastRow trick is unaffected by shard
+// boundaries). Returns the number of shards streamed.
+func exactFanOut(src matrix.RowSource, cand []pairs.Scored, threshold float64, shards [][2]int, outs [][]pairs.Scored, stats []Stats) (int64, error) {
 	m := src.NumCols()
-	chans := make([]chan *rowBatch, len(shards))
-	var wg sync.WaitGroup
+	consumers := make([]func(<-chan *matrix.Shard), len(shards))
 	for s, sh := range shards {
-		chans[s] = make(chan *rowBatch, 4)
-		wg.Add(1)
-		go func(s int, lo, hi int, ch <-chan *rowBatch) {
-			defer wg.Done()
+		s, lo, hi := s, sh[0], sh[1]
+		consumers[s] = func(ch <-chan *matrix.Shard) {
 			shardCand := cand[lo:hi]
 			sc := new(exactScratch)
 			sc.reset(m, len(shardCand))
@@ -176,8 +164,9 @@ func exactFanOut(src matrix.RowSource, cand []pairs.Scored, threshold float64, s
 			}
 			st := Stats{In: len(shardCand)}
 			for b := range ch {
-				for ri, r := range b.rows {
-					for _, c := range b.cols[b.offs[ri]:b.offs[ri+1]] {
+				for ri := 0; ri < b.Len(); ri++ {
+					r, cols := b.Row(ri)
+					for _, c := range cols {
 						for _, idx := range sc.pairsOf[c] {
 							st.Touches++
 							if sc.lastRow[idx] == r {
@@ -202,38 +191,7 @@ func exactFanOut(src matrix.RowSource, cand []pairs.Scored, threshold float64, s
 			}
 			st.Out = len(out)
 			outs[s], stats[s] = out, st
-		}(s, sh[0], sh[1], chans[s])
-	}
-
-	batch := &rowBatch{offs: []int32{0}}
-	flush := func() {
-		if len(batch.rows) == 0 {
-			return
-		}
-		for _, ch := range chans {
-			ch <- batch
-		}
-		batch = &rowBatch{
-			rows: make([]int32, 0, batchRows),
-			offs: append(make([]int32, 0, batchRows+1), 0),
-			cols: make([]int32, 0, batchCols),
 		}
 	}
-	err := src.Scan(func(row int, cols []int32) error {
-		batch.rows = append(batch.rows, int32(row))
-		batch.cols = append(batch.cols, cols...)
-		batch.offs = append(batch.offs, int32(len(batch.cols)))
-		if len(batch.rows) >= batchRows || len(batch.cols) >= batchCols {
-			flush()
-		}
-		return nil
-	})
-	if err == nil {
-		flush()
-	}
-	for _, ch := range chans {
-		close(ch)
-	}
-	wg.Wait()
-	return err
+	return matrix.FanOutShards(src, 0, 0, consumers)
 }

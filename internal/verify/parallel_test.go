@@ -55,6 +55,10 @@ func TestExactParallelMatchesSerial(t *testing.T) {
 				if !reflect.DeepEqual(got, want) {
 					t.Fatalf("output differs from serial: %d pairs vs %d", len(got), len(want))
 				}
+				if src.name == "fanout" && workers > 1 && st.Shards <= 0 {
+					t.Errorf("fan-out reported %d shards", st.Shards)
+				}
+				st.Shards = 0 // delivery detail; differs by strategy
 				if st != wantSt {
 					t.Fatalf("stats %+v, want %+v", st, wantSt)
 				}

@@ -21,6 +21,15 @@ type Stats struct {
 	In      int   // candidate pairs checked
 	Out     int   // pairs surviving the threshold
 	Touches int64 // per-row pair-counter updates
+
+	// Shards counts the bounded row blocks broadcast by the streamed
+	// fan-out strategies (0 when the pass scanned rows directly).
+	Shards int64
+	// SpillRuns and SpillBytes report the sorted runs the budgeted pass
+	// wrote to disk when the counter table exceeded its memory budget
+	// (both 0 when everything stayed resident).
+	SpillRuns  int64
+	SpillBytes int64
 }
 
 // exactScratch holds the per-candidate counters and the per-column

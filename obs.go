@@ -63,6 +63,10 @@ const (
 	CounterPairsVerified    = obs.CounterPairsVerified
 	CounterFalsePositives   = obs.CounterFalsePositives
 	CounterTopPairsAttempts = obs.CounterTopPairsAttempts
+	CounterBytesRead        = obs.CounterBytesRead
+	CounterShards           = obs.CounterShards
+	CounterSpillRuns        = obs.CounterSpillRuns
+	CounterSpillBytes       = obs.CounterSpillBytes
 
 	GaugeSignatureWorkers = obs.GaugeSignatureWorkers
 	GaugeCandidateWorkers = obs.GaugeCandidateWorkers

@@ -56,7 +56,7 @@ func ProgressiveSimilarPairs(d *Dataset, cfg Config, fn func(Progress) bool) (*R
 	stick := prog.enter(PhaseSignatures)
 	endSig := phaseSpan(rec, PhaseSignatures)
 	start := time.Now()
-	sig, err := computeMH(d.m.Stream(), func() (*matrix.Matrix, error) { return d.m, nil }, cfg, stick)
+	sig, _, err := computeMH(d.m.Stream(), d.m.Stream(), func() (*matrix.Matrix, error) { return d.m, nil }, cfg, stick)
 	if err != nil {
 		return nil, err
 	}

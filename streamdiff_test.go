@@ -1,0 +1,207 @@
+package assocmine
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// saveDataset writes d to a temp file in the given format and opens it
+// as a streaming FileDataset.
+func saveDataset(t *testing.T, d *Dataset, ext string) *FileDataset {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "data"+ext)
+	var err error
+	if ext == ".arows" {
+		err = d.SaveRowBinary(path)
+	} else {
+		err = d.Save(path)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, err := OpenFileDataset(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fd
+}
+
+// comparePairSections checks the Stats fields that describe the mined
+// pairs and the per-pair work — the sections that must be identical
+// between the in-memory and out-of-core paths. Pass accounting
+// (DataPasses, RowsScanned) legitimately differs: in-memory parallel
+// runs materialise or scan concurrently, the streamed path always pays
+// one sequential pass per phase.
+func comparePairSections(t *testing.T, got, want Stats) {
+	t.Helper()
+	if got.Candidates != want.Candidates {
+		t.Errorf("Candidates = %d, want %d", got.Candidates, want.Candidates)
+	}
+	if got.Verified != want.Verified {
+		t.Errorf("Verified = %d, want %d", got.Verified, want.Verified)
+	}
+	if got.FalsePositives != want.FalsePositives {
+		t.Errorf("FalsePositives = %d, want %d", got.FalsePositives, want.FalsePositives)
+	}
+	if got.SignatureCells != want.SignatureCells {
+		t.Errorf("SignatureCells = %d, want %d", got.SignatureCells, want.SignatureCells)
+	}
+	if got.CandidateIncrements != want.CandidateIncrements {
+		t.Errorf("CandidateIncrements = %d, want %d", got.CandidateIncrements, want.CandidateIncrements)
+	}
+	if got.BucketPairs != want.BucketPairs {
+		t.Errorf("BucketPairs = %d, want %d", got.BucketPairs, want.BucketPairs)
+	}
+	if got.VerifyTouches != want.VerifyTouches {
+		t.Errorf("VerifyTouches = %d, want %d", got.VerifyTouches, want.VerifyTouches)
+	}
+}
+
+// TestStreamedPipelineMatchesInMemory is the differential harness for
+// the out-of-core path: seeded random datasets across sizes and
+// densities, mined from disk (both file formats) and from memory, must
+// produce bit-identical Results — same pairs, same estimates and exact
+// similarities, same pair-section Stats — for every scheme with a
+// signature phase, serial and parallel.
+func TestStreamedPipelineMatchesInMemory(t *testing.T) {
+	fixtures := []SyntheticOptions{
+		{Rows: 700, Cols: 70, PairsPerRange: 2, Seed: 41},
+		{Rows: 1600, Cols: 110, MinDensity: 0.02, MaxDensity: 0.1, PairsPerRange: 4, Seed: 43},
+	}
+	algos := []struct {
+		name string
+		cfg  Config
+	}{
+		{"MH", Config{Algorithm: MinHash, Threshold: 0.5, K: 50, Seed: 7}},
+		{"K-MH", Config{Algorithm: KMinHash, Threshold: 0.5, K: 50, Seed: 7}},
+		{"M-LSH", Config{Algorithm: MinLSH, Threshold: 0.5, K: 50, R: 5, L: 10, Seed: 7}},
+	}
+	for fi, opt := range fixtures {
+		d, _, err := GenerateSynthetic(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ext := range []string{".txt", ".arows"} {
+			fd := saveDataset(t, d, ext)
+			for _, a := range algos {
+				for _, workers := range []int{1, 4} {
+					name := fmt.Sprintf("fixture%d%s/%s/workers=%d", fi, ext, a.name, workers)
+					t.Run(name, func(t *testing.T) {
+						cfg := a.cfg
+						cfg.Workers = workers
+						mem, err := SimilarPairs(d, cfg)
+						if err != nil {
+							t.Fatalf("in-memory: %v", err)
+						}
+						stream, err := fd.SimilarPairs(cfg)
+						if err != nil {
+							t.Fatalf("streamed: %v", err)
+						}
+						if len(stream.Pairs) != len(mem.Pairs) {
+							t.Fatalf("%d pairs streamed, %d in memory", len(stream.Pairs), len(mem.Pairs))
+						}
+						for i := range mem.Pairs {
+							if stream.Pairs[i] != mem.Pairs[i] {
+								t.Fatalf("pair %d: %+v streamed, %+v in memory", i, stream.Pairs[i], mem.Pairs[i])
+							}
+						}
+						comparePairSections(t, stream.Stats, mem.Stats)
+						if stream.Stats.BytesRead <= 0 {
+							t.Errorf("streamed run read %d bytes", stream.Stats.BytesRead)
+						}
+						if mem.Stats.BytesRead != 0 {
+							t.Errorf("in-memory run reported %d bytes read", mem.Stats.BytesRead)
+						}
+						if workers > 1 && stream.Stats.ShardsStreamed <= 0 {
+							t.Errorf("parallel streamed run broadcast %d shards", stream.Stats.ShardsStreamed)
+						}
+						if stream.Stats.SpillRuns != 0 || stream.Stats.SpillBytes != 0 {
+							t.Errorf("unbudgeted run spilled: %+v", stream.Stats)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestStreamedMemoryBudget: mining a dataset whose verification counter
+// table is several times the configured budget must trigger disk
+// spills and still produce results identical to the unbudgeted
+// in-memory run, with an attached Collector agreeing with Stats.
+func TestStreamedMemoryBudget(t *testing.T) {
+	d, _, err := GenerateSynthetic(SyntheticOptions{Rows: 600, Cols: 120, MinDensity: 0.05, MaxDensity: 0.15, PairsPerRange: 4, Seed: 47})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := saveDataset(t, d, ".arows")
+	// Delta close to 1 admits nearly every estimated pair, inflating the
+	// candidate list well past the budget below.
+	base := Config{Algorithm: MinHash, Threshold: 0.3, K: 40, Delta: 0.9, Seed: 13}
+	mem, err := SimilarPairs(d, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem.Stats.Candidates*denseCounterBytesTest < 8*4096 {
+		t.Fatalf("fixture too small to exceed the budget: %d candidates", mem.Stats.Candidates)
+	}
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			cfg := base
+			cfg.Workers = workers
+			cfg.MemoryBudget = 4096
+			col := NewCollector()
+			cfg.Recorder = col
+			stream, err := fd.SimilarPairs(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stream.Stats.SpillRuns <= 0 || stream.Stats.SpillBytes <= 0 {
+				t.Fatalf("budget %d did not spill: %+v", cfg.MemoryBudget, stream.Stats)
+			}
+			if len(stream.Pairs) != len(mem.Pairs) {
+				t.Fatalf("%d pairs budgeted, %d unbudgeted", len(stream.Pairs), len(mem.Pairs))
+			}
+			for i := range mem.Pairs {
+				if stream.Pairs[i] != mem.Pairs[i] {
+					t.Fatalf("pair %d: %+v budgeted, %+v unbudgeted", i, stream.Pairs[i], mem.Pairs[i])
+				}
+			}
+			comparePairSections(t, stream.Stats, mem.Stats)
+			if got := col.Counter(CounterSpillRuns); got != stream.Stats.SpillRuns {
+				t.Errorf("collector spill_runs = %d, Stats.SpillRuns = %d", got, stream.Stats.SpillRuns)
+			}
+			if got := col.Counter(CounterSpillBytes); got != stream.Stats.SpillBytes {
+				t.Errorf("collector spill_bytes = %d, Stats.SpillBytes = %d", got, stream.Stats.SpillBytes)
+			}
+			if got := col.Counter(CounterBytesRead); got != stream.Stats.BytesRead {
+				t.Errorf("collector bytes_read = %d, Stats.BytesRead = %d", got, stream.Stats.BytesRead)
+			}
+		})
+	}
+	// An in-memory run under the same budget must also match (the
+	// budgeted pass replaces the concurrent-scan strategy there).
+	cfg := base
+	cfg.Workers = 4
+	cfg.MemoryBudget = 4096
+	budgeted, err := SimilarPairs(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if budgeted.Stats.SpillRuns <= 0 {
+		t.Fatalf("in-memory budgeted run did not spill: %+v", budgeted.Stats)
+	}
+	if len(budgeted.Pairs) != len(mem.Pairs) {
+		t.Fatalf("%d pairs budgeted in-memory, %d unbudgeted", len(budgeted.Pairs), len(mem.Pairs))
+	}
+	for i := range mem.Pairs {
+		if budgeted.Pairs[i] != mem.Pairs[i] {
+			t.Fatalf("pair %d differs under in-memory budget", i)
+		}
+	}
+}
+
+// denseCounterBytesTest mirrors verify's per-candidate counter cost for
+// the fixture-size sanity check above.
+const denseCounterBytesTest = 12

@@ -9,9 +9,11 @@ import (
 // similarities, candidate and verified counts) must be identical for
 // every worker count, across all LSH-family algorithms. workers=1 is
 // the serial baseline; the others exercise the parallel shards of all
-// three phases. DataPasses is deliberately not compared: parallel
-// signature computation materialises the matrix instead of scanning
-// the counted stream, so its pass accounting legitimately differs.
+// three phases. DataPasses is deliberately not compared: on in-memory
+// datasets the parallel phases materialise or scan concurrently instead
+// of scanning the counted stream, so pass accounting legitimately
+// differs (streamed FileDataset runs always pay one pass per phase —
+// see streamdiff_test.go).
 func TestWorkersDeterminismTable(t *testing.T) {
 	d, _ := plantedDataset(t)
 	algos := []struct {
@@ -93,7 +95,8 @@ func TestWorkersBitIdentical(t *testing.T) {
 }
 
 // TestWorkersOnFileDataset: setting Workers on a streaming dataset
-// materialises and still matches.
+// fans the sequential file pass out to the workers (no materialising)
+// and still matches the serial in-memory run.
 func TestWorkersOnFileDataset(t *testing.T) {
 	d, fd := fileDatasetFixture(t, ".arows")
 	cfg := Config{Algorithm: MinHash, Threshold: 0.45, K: 40, Seed: 9}
