@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check statcheck streamcheck race race-all vet fmt bench bench-json experiments experiments-full fuzz clean
+.PHONY: all build test check statcheck streamcheck chaoscheck race race-all vet fmt bench bench-json experiments experiments-full fuzz clean
 
 all: build vet test
 
@@ -12,7 +12,7 @@ build:
 test:
 	$(GO) test ./...
 
-check: build vet test race statcheck streamcheck
+check: build vet test race statcheck streamcheck chaoscheck
 
 # The statistical-accuracy suite (recall / false-positive-rate bounds
 # on seeded synthetic matrices; deterministic).
@@ -26,6 +26,16 @@ statcheck:
 streamcheck:
 	$(GO) test -race -run 'TestStreamed' .
 	$(GO) test -race -run 'TestExactBudgeted|TestComputeStream|TestFanOutShards|TestScanShards|TestFileSourceBytesRead' ./internal/verify ./internal/minhash ./internal/kminhash ./internal/matrix
+
+# The chaos-differential suite under the race detector: runs under
+# injected transient IO faults bit-identical to fault-free runs,
+# permanent faults fail with path+offset errors, cancelled runs stop
+# promptly leaving no goroutines or spill files, and the fault injector
+# plus the spill cleanup paths hold up on their own.
+chaoscheck:
+	$(GO) test -race -run 'TestChaos' .
+	$(GO) test -race ./internal/faultfs ./internal/testutil
+	$(GO) test -race -run 'TestBudgetWorkerCleanup|TestExactBudgetedCleanup|TestExactBudgetedSpillDir|TestFileSourceDecodeErrors' ./internal/verify ./internal/matrix
 
 # Race-detect the packages with concurrent code paths (fast); race-all
 # covers the whole tree.
@@ -62,6 +72,7 @@ fuzz:
 	$(GO) test ./internal/matrix -fuzz FuzzReadNamedTransactions -fuzztime 10s
 	$(GO) test ./internal/minhash -fuzz FuzzReadSignatures -fuzztime 10s
 	$(GO) test . -fuzz FuzzOpenFileDataset -fuzztime 10s
+	$(GO) test ./internal/faultfs -fuzz FuzzPlanRowBinary -fuzztime 10s
 
 clean:
-	rm -rf internal/matrix/testdata/fuzz
+	rm -rf internal/matrix/testdata/fuzz internal/faultfs/testdata/fuzz

@@ -1,6 +1,7 @@
 package assocmine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -127,6 +128,24 @@ type Config struct {
 	// shard boundaries, so results and Stats are unaffected. nil costs
 	// nothing.
 	Progress ProgressFunc
+	// Context, when non-nil, cancels the run: every phase — signature
+	// streaming, candidate generation, verification — checks it at
+	// row/chunk/band granularity and returns ctx.Err() promptly once it
+	// is done, with spill files cleaned up and no goroutines left
+	// behind. nil means run to completion.
+	Context context.Context
+	// SpillDir receives the budgeted verification pass's spill runs;
+	// "" means the OS temp directory. Run files never outlive the call,
+	// successful or not.
+	SpillDir string
+}
+
+// context returns the run's context, Background when none was set.
+func (c Config) context() context.Context {
+	if c.Context != nil {
+		return c.Context
+	}
+	return context.Background()
 }
 
 func (c *Config) setDefaults() error {
@@ -252,6 +271,12 @@ type Stats struct {
 	// stayed within Config.MemoryBudget, or no budget was set).
 	SpillRuns  int64
 	SpillBytes int64
+	// IORetries counts transient IO errors the file-backed source
+	// retried away during this run, and FaultsInjected the faults a
+	// fault-injecting FS delivered into its reads (both 0 for healthy
+	// disks and in-memory sources).
+	IORetries      int64
+	FaultsInjected int64
 }
 
 // Total returns the end-to-end running time.
@@ -282,6 +307,13 @@ func similarPairs(rawSrc matrix.RowSource, materialize func() (*matrix.Matrix, e
 	if err := cfg.setDefaults(); err != nil {
 		return nil, err
 	}
+	// Accounting probes read the unwrapped source; the context wrapper
+	// deliberately hides them (and every scan below goes through it, so
+	// cancellation aborts each phase at its next row).
+	probe := rawSrc
+	if cfg.Context != nil {
+		rawSrc = matrix.WithContext(cfg.Context, rawSrc)
+	}
 	counting := &matrix.CountingSource{Src: rawSrc}
 	src := matrix.RowSource(counting)
 	inner := obs.NewCollector()
@@ -289,12 +321,22 @@ func similarPairs(rawSrc matrix.RowSource, materialize func() (*matrix.Matrix, e
 	prog := newProgressSink(cfg.Progress)
 	st := Stats{Algorithm: cfg.Algorithm, SignatureWorkers: 1, CandidateWorkers: 1, VerifyWorkers: 1}
 	phase := func(name string) func() time.Duration { return phaseSpan(rec, name) }
-	// File-backed sources expose their cumulative byte count; the delta
-	// across the run is this run's I/O volume.
-	byteSrc, _ := rawSrc.(matrix.ByteCounter)
+	// File-backed sources expose cumulative IO counts; the deltas across
+	// the run are this run's I/O volume, retries and injected faults.
+	byteSrc, _ := probe.(matrix.ByteCounter)
 	var bytesAtStart int64
 	if byteSrc != nil {
 		bytesAtStart = byteSrc.BytesRead()
+	}
+	retrySrc, _ := probe.(matrix.RetryCounter)
+	var retriesAtStart int64
+	if retrySrc != nil {
+		retriesAtStart = retrySrc.IORetries()
+	}
+	faultSrc, _ := probe.(matrix.FaultCounter)
+	var faultsAtStart int64
+	if faultSrc != nil {
+		faultsAtStart = faultSrc.FaultsInjected()
 	}
 	finish := func(res *Result) *Result {
 		res.Stats.DataPasses = counting.Passes
@@ -308,6 +350,12 @@ func similarPairs(rawSrc matrix.RowSource, materialize func() (*matrix.Matrix, e
 			if n := byteSrc.BytesRead() - bytesAtStart; n > 0 {
 				rec.Add(obs.CounterBytesRead, n)
 			}
+		}
+		if retrySrc != nil {
+			addNonzero(rec, obs.CounterIORetries, retrySrc.IORetries()-retriesAtStart)
+		}
+		if faultSrc != nil {
+			addNonzero(rec, obs.CounterFaultsInjected, faultSrc.FaultsInjected()-faultsAtStart)
 		}
 		res.Stats.fillFrom(inner)
 		return res
@@ -350,7 +398,7 @@ func similarPairs(rawSrc matrix.RowSource, materialize func() (*matrix.Matrix, e
 		end = phase(PhaseCandidates)
 		cutoff := (1 - cfg.Delta) * cfg.Threshold
 		var cst candidate.Stats
-		cand, cst, err = candidate.RowSortMHParallelProgress(sig, cutoff, cfg.Workers, tick)
+		cand, cst, err = candidate.RowSortMHParallelProgress(cfg.context(), sig, cutoff, cfg.Workers, tick)
 		if err != nil {
 			return nil, err
 		}
@@ -386,7 +434,7 @@ func similarPairs(rawSrc matrix.RowSource, materialize func() (*matrix.Matrix, e
 			UnbiasedCutoff: cutoff,
 		}
 		var cst candidate.Stats
-		cand, cst, err = candidate.HashCountKMHParallelProgress(sk, opt, cfg.Workers, tick)
+		cand, cst, err = candidate.HashCountKMHParallelProgress(cfg.context(), sk, opt, cfg.Workers, tick)
 		if err != nil {
 			return nil, err
 		}
@@ -416,9 +464,9 @@ func similarPairs(rawSrc matrix.RowSource, materialize func() (*matrix.Matrix, e
 		var set *pairs.Set
 		var lst lsh.Stats
 		if exactBands {
-			set, lst, err = lsh.CandidatesParallelProgress(sig, cfg.R, cfg.L, cfg.Workers, tick)
+			set, lst, err = lsh.CandidatesParallelProgress(cfg.context(), sig, cfg.R, cfg.L, cfg.Workers, tick)
 		} else {
-			set, lst, err = lsh.SampledCandidatesParallelProgress(sig, cfg.R, cfg.L, cfg.Seed+1, cfg.Workers, tick)
+			set, lst, err = lsh.SampledCandidatesParallelProgress(cfg.context(), sig, cfg.R, cfg.L, cfg.Seed+1, cfg.Workers, tick)
 		}
 		if err != nil {
 			return nil, err
@@ -509,7 +557,7 @@ func similarPairs(rawSrc matrix.RowSource, materialize func() (*matrix.Matrix, e
 			vsrc = &matrix.ProgressSource{Src: vsrc, Tick: tick}
 		}
 		if cfg.MemoryBudget > 0 {
-			verified, vst, err = verify.ExactBudgeted(vsrc, cand, cfg.Threshold, verify.Budget{Bytes: cfg.MemoryBudget}, cfg.Workers, nil)
+			verified, vst, err = verify.ExactBudgeted(vsrc, cand, cfg.Threshold, verify.Budget{Bytes: cfg.MemoryBudget, Dir: cfg.SpillDir}, cfg.Workers, nil)
 		} else {
 			verified, vst, err = verify.ExactParallel(vsrc, cand, cfg.Threshold, cfg.Workers)
 		}
@@ -564,6 +612,8 @@ func (s *Stats) fillFrom(c *Collector) {
 	s.ShardsStreamed = c.Counter(CounterShards)
 	s.SpillRuns = c.Counter(CounterSpillRuns)
 	s.SpillBytes = c.Counter(CounterSpillBytes)
+	s.IORetries = c.Counter(CounterIORetries)
+	s.FaultsInjected = c.Counter(CounterFaultsInjected)
 }
 
 // computeMH runs the MH signature pass, parallel when cfg.Workers asks

@@ -13,6 +13,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -23,6 +25,7 @@ import (
 	"runtime/trace"
 	"strconv"
 	"strings"
+	"time"
 
 	"assocmine"
 )
@@ -41,6 +44,7 @@ type options struct {
 	stats       bool
 	stream      bool
 	memBudget   string
+	timeout     time.Duration
 	txns        bool
 	clusters    bool
 	metrics     bool
@@ -68,6 +72,7 @@ func main() {
 	flag.BoolVar(&o.stats, "stats", true, "print phase statistics")
 	flag.BoolVar(&o.stream, "stream", false, "mine directly from disk (one file pass per phase; .txt or .arows)")
 	flag.StringVar(&o.memBudget, "mem-budget", "", "verification counter-table budget, e.g. 64K, 16M, 1G (bytes if no suffix); empty or 0 = unlimited. When the candidate counters exceed it, the exact pass spills sorted runs to disk")
+	flag.DurationVar(&o.timeout, "timeout", 0, "abort the mining run after this long, e.g. 30s, 5m; 0 = no limit. Aborted runs clean up their spill files and exit non-zero")
 	flag.BoolVar(&o.txns, "transactions", false, "input is named-transaction format (item names per line)")
 	flag.BoolVar(&o.clusters, "clusters", false, "also group the found pairs into column clusters")
 	flag.BoolVar(&o.metrics, "metrics", false, "print per-phase metrics in Prometheus text format after the run")
@@ -180,6 +185,11 @@ func run(o options) error {
 		MinSupport: o.support, Seed: o.seed, Workers: o.workers,
 		MemoryBudget: budget,
 	}
+	if o.timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), o.timeout)
+		defer cancel()
+		cfg.Context = ctx
+	}
 	var coll *assocmine.Collector
 	if o.metrics || o.metricsAddr != "" {
 		coll = assocmine.NewCollector()
@@ -200,6 +210,9 @@ func run(o options) error {
 		res, err = assocmine.SimilarPairs(data, cfg)
 	}
 	if err != nil {
+		if o.timeout > 0 && errors.Is(err, context.DeadlineExceeded) {
+			return fmt.Errorf("mining timed out after %v", o.timeout)
+		}
 		return err
 	}
 	fmt.Printf("%d similar pairs (similarity >= %.2f) via %v:\n", len(res.Pairs), o.threshold, a)

@@ -3,7 +3,9 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
 	"assocmine"
 )
@@ -82,6 +84,28 @@ func TestRunTransactions(t *testing.T) {
 	o := options{in: path, txns: true, algo: "brute", threshold: 0.5, top: 10}
 	if err := run(o); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunTimeout(t *testing.T) {
+	path := writeFixture(t)
+	// A nanosecond deadline expires before the first row is scanned;
+	// the run must abort with the timeout error, not hang or succeed.
+	o := options{
+		in: path, algo: "mh", threshold: 0.45, k: 60, seed: 1, top: 5,
+		stream: true, timeout: time.Nanosecond,
+	}
+	err := run(o)
+	if err == nil {
+		t.Fatal("nanosecond timeout did not abort the run")
+	}
+	if !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("err = %v, want a timeout error", err)
+	}
+	// A generous deadline must not disturb the run.
+	o.timeout = time.Minute
+	if err := run(o); err != nil {
+		t.Fatalf("run with generous timeout: %v", err)
 	}
 }
 

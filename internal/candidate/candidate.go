@@ -15,6 +15,7 @@
 package candidate
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -38,13 +39,15 @@ type Stats struct {
 // in at least ceil(cutoff*k) rows. cutoff is the required agreement
 // fraction, typically (1-δ)s*.
 func RowSortMH(sig *minhash.Signatures, cutoff float64) ([]pairs.Scored, Stats, error) {
-	return rowSortMH(sig, cutoff, nil)
+	return rowSortMH(context.Background(), sig, cutoff, nil)
 }
 
-// rowSortMH is RowSortMH with an optional progress hook: tick receives
-// (columns processed, total columns) every colChunk columns. The hook
-// does not change the output.
-func rowSortMH(sig *minhash.Signatures, cutoff float64, tick obs.Tick) ([]pairs.Scored, Stats, error) {
+// rowSortMH is RowSortMH with an optional progress hook and
+// cancellation: tick receives (columns processed, total columns) every
+// colChunk columns, and ctx is checked at the same granularity — a
+// cancelled context aborts the scan with ctx.Err(). The hook does not
+// change the output.
+func rowSortMH(ctx context.Context, sig *minhash.Signatures, cutoff float64, tick obs.Tick) ([]pairs.Scored, Stats, error) {
 	if cutoff <= 0 || cutoff > 1 {
 		return nil, Stats{}, fmt.Errorf("candidate: cutoff must be in (0,1], got %v", cutoff)
 	}
@@ -94,8 +97,13 @@ func rowSortMH(sig *minhash.Signatures, cutoff float64, tick obs.Tick) ([]pairs.
 			counts[j] = 0
 		}
 		touched = touched[:0]
-		if tick != nil && (i+1)%colChunk == 0 {
-			tick(int64(i+1), int64(m))
+		if (i+1)%colChunk == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, Stats{}, err
+			}
+			if tick != nil {
+				tick(int64(i+1), int64(m))
+			}
 		}
 	}
 	st.Candidates = len(out)
@@ -175,12 +183,14 @@ type KMHOptions struct {
 // unbiased Theorem 2 estimator to survivors. The returned Estimate is
 // the unbiased one.
 func HashCountKMH(s *kminhash.Sketches, opt KMHOptions) ([]pairs.Scored, Stats, error) {
-	return hashCountKMH(s, opt, nil)
+	return hashCountKMH(context.Background(), s, opt, nil)
 }
 
 // hashCountKMH is HashCountKMH with an optional progress hook invoked
-// every colChunk columns with (columns processed, total columns).
-func hashCountKMH(s *kminhash.Sketches, opt KMHOptions, tick obs.Tick) ([]pairs.Scored, Stats, error) {
+// every colChunk columns with (columns processed, total columns); ctx
+// is checked at the same granularity and aborts the scan with
+// ctx.Err() once cancelled.
+func hashCountKMH(ctx context.Context, s *kminhash.Sketches, opt KMHOptions, tick obs.Tick) ([]pairs.Scored, Stats, error) {
 	if opt.BiasedCutoff <= 0 || opt.BiasedCutoff > 1 {
 		return nil, Stats{}, fmt.Errorf("candidate: biased cutoff must be in (0,1], got %v", opt.BiasedCutoff)
 	}
@@ -218,8 +228,13 @@ func hashCountKMH(s *kminhash.Sketches, opt KMHOptions, tick obs.Tick) ([]pairs.
 			counts[j] = 0
 		}
 		touched = touched[:0]
-		if tick != nil && (i+1)%colChunk == 0 {
-			tick(int64(i+1), int64(m))
+		if (i+1)%colChunk == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, Stats{}, err
+			}
+			if tick != nil {
+				tick(int64(i+1), int64(m))
+			}
 		}
 	}
 	st.Candidates = len(out)

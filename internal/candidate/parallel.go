@@ -11,6 +11,7 @@
 package candidate
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -29,7 +30,9 @@ const colChunk = 32
 // forEachChunk runs fn over [0,m) in chunks of colChunk across workers,
 // storing per-chunk outputs so the caller can merge deterministically.
 // fn receives the chunk index, its column range, and the worker id.
-func forEachChunk(m, workers int, fn func(chunk, lo, hi, worker int)) int {
+// Workers stop claiming chunks once ctx is cancelled; the caller is
+// responsible for checking ctx.Err() afterwards.
+func forEachChunk(ctx context.Context, m, workers int, fn func(chunk, lo, hi, worker int)) int {
 	numChunks := (m + colChunk - 1) / colChunk
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -37,7 +40,7 @@ func forEachChunk(m, workers int, fn func(chunk, lo, hi, worker int)) int {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				ck := int(next.Add(1)) - 1
 				if ck >= numChunks {
 					return
@@ -72,19 +75,24 @@ func concatChunks(outs [][]pairs.Scored) []pairs.Scored {
 // Output and Stats are identical to RowSortMH for any worker count;
 // workers <= 1 runs the serial pass, negative means GOMAXPROCS.
 func RowSortMHParallel(sig *minhash.Signatures, cutoff float64, workers int) ([]pairs.Scored, Stats, error) {
-	return RowSortMHParallelProgress(sig, cutoff, workers, nil)
+	return RowSortMHParallelProgress(context.Background(), sig, cutoff, workers, nil)
 }
 
-// RowSortMHParallelProgress is RowSortMHParallel with a progress hook:
-// tick (when non-nil) receives (columns counted, total columns), from
-// worker goroutines at chunk granularity in the parallel path and
-// inline in the serial path. Output and Stats are unaffected.
-func RowSortMHParallelProgress(sig *minhash.Signatures, cutoff float64, workers int, tick obs.Tick) ([]pairs.Scored, Stats, error) {
+// RowSortMHParallelProgress is RowSortMHParallel with a progress hook
+// and cancellation: tick (when non-nil) receives (columns counted,
+// total columns), from worker goroutines at chunk granularity in the
+// parallel path and inline in the serial path; a cancelled ctx (nil
+// means Background) aborts at chunk granularity with ctx.Err().
+// Output and Stats are unaffected.
+func RowSortMHParallelProgress(ctx context.Context, sig *minhash.Signatures, cutoff float64, workers int, tick obs.Tick) ([]pairs.Scored, Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if workers < 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers <= 1 {
-		return rowSortMH(sig, cutoff, tick)
+		return rowSortMH(ctx, sig, cutoff, tick)
 	}
 	if cutoff <= 0 || cutoff > 1 {
 		_, _, err := RowSortMH(sig, cutoff)
@@ -108,7 +116,7 @@ func RowSortMHParallelProgress(sig *minhash.Signatures, cutoff float64, workers 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				l := int(nextRow.Add(1)) - 1
 				if l >= k {
 					return
@@ -118,13 +126,16 @@ func RowSortMHParallelProgress(sig *minhash.Signatures, cutoff float64, workers 
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, Stats{}, err
+	}
 
 	// Stage 2: per-column counting over chunked columns.
 	numChunks := (m + colChunk - 1) / colChunk
 	outs := make([][]pairs.Scored, numChunks)
 	incs := make([]int64, workers)
 	var done atomic.Int64
-	forEachChunk(m, workers, func(ck, lo, hi, worker int) {
+	forEachChunk(ctx, m, workers, func(ck, lo, hi, worker int) {
 		counts := make([]int32, m)
 		touched := make([]int32, 0, 256)
 		var out []pairs.Scored
@@ -162,6 +173,9 @@ func RowSortMHParallelProgress(sig *minhash.Signatures, cutoff float64, workers 
 			tick(done.Add(int64(hi-lo)), int64(m))
 		}
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, Stats{}, err
+	}
 
 	var st Stats
 	for _, n := range incs {
@@ -223,7 +237,7 @@ func HashCountMHParallel(sig *minhash.Signatures, cutoff float64, workers int) (
 	numChunks := (m + colChunk - 1) / colChunk
 	outs := make([][]pairs.Scored, numChunks)
 	incs := make([]int64, workers)
-	forEachChunk(m, workers, func(ck, lo, hi, worker int) {
+	forEachChunk(context.Background(), m, workers, func(ck, lo, hi, worker int) {
 		counts := make([]int32, m)
 		touched := make([]int32, 0, 256)
 		var out []pairs.Scored
@@ -275,17 +289,21 @@ func HashCountMHParallel(sig *minhash.Signatures, cutoff float64, workers int) (
 // columns against the ascending prefix of every bucket and applies the
 // biased-then-unbiased estimator cascade exactly as the serial pass.
 func HashCountKMHParallel(s *kminhash.Sketches, opt KMHOptions, workers int) ([]pairs.Scored, Stats, error) {
-	return HashCountKMHParallelProgress(s, opt, workers, nil)
+	return HashCountKMHParallelProgress(context.Background(), s, opt, workers, nil)
 }
 
 // HashCountKMHParallelProgress is HashCountKMHParallel with a progress
-// hook following the RowSortMHParallelProgress conventions.
-func HashCountKMHParallelProgress(s *kminhash.Sketches, opt KMHOptions, workers int, tick obs.Tick) ([]pairs.Scored, Stats, error) {
+// hook and cancellation following the RowSortMHParallelProgress
+// conventions.
+func HashCountKMHParallelProgress(ctx context.Context, s *kminhash.Sketches, opt KMHOptions, workers int, tick obs.Tick) ([]pairs.Scored, Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if workers < 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers <= 1 {
-		return hashCountKMH(s, opt, tick)
+		return hashCountKMH(ctx, s, opt, tick)
 	}
 	if opt.BiasedCutoff <= 0 || opt.BiasedCutoff > 1 || opt.UnbiasedCutoff < 0 || opt.UnbiasedCutoff > 1 {
 		_, _, err := HashCountKMH(s, opt)
@@ -303,7 +321,7 @@ func HashCountKMHParallelProgress(s *kminhash.Sketches, opt KMHOptions, workers 
 	outs := make([][]pairs.Scored, numChunks)
 	incs := make([]int64, workers)
 	var done atomic.Int64
-	forEachChunk(m, workers, func(ck, lo, hi, worker int) {
+	forEachChunk(ctx, m, workers, func(ck, lo, hi, worker int) {
 		counts := make([]int32, m)
 		touched := make([]int32, 0, 256)
 		var out []pairs.Scored
@@ -340,6 +358,9 @@ func HashCountKMHParallelProgress(s *kminhash.Sketches, opt KMHOptions, workers 
 			tick(done.Add(int64(hi-lo)), int64(m))
 		}
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, Stats{}, err
+	}
 
 	var st Stats
 	for _, n := range incs {

@@ -9,6 +9,7 @@
 package lsh
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -25,44 +26,48 @@ import (
 // GOMAXPROCS. The candidate set, Bands, BucketPairs and Candidates
 // statistics are identical to the serial pass.
 func CandidatesParallel(sig *minhash.Signatures, r, l, workers int) (*pairs.Set, Stats, error) {
-	return CandidatesParallelProgress(sig, r, l, workers, nil)
+	return CandidatesParallelProgress(context.Background(), sig, r, l, workers, nil)
 }
 
 // CandidatesParallelProgress is CandidatesParallel with a progress
-// hook: tick (when non-nil) receives (bands hashed, total bands), from
-// worker goroutines in the parallel path. The candidate set and Stats
-// are unaffected.
-func CandidatesParallelProgress(sig *minhash.Signatures, r, l, workers int, tick obs.Tick) (*pairs.Set, Stats, error) {
+// hook and cancellation: tick (when non-nil) receives (bands hashed,
+// total bands), from worker goroutines in the parallel path; a
+// cancelled ctx (nil means Background) aborts at band granularity with
+// ctx.Err(). The candidate set and Stats are unaffected.
+func CandidatesParallelProgress(ctx context.Context, sig *minhash.Signatures, r, l, workers int, tick obs.Tick) (*pairs.Set, Stats, error) {
 	if err := checkRL(r, l); err != nil {
 		return nil, Stats{}, err
 	}
 	if sig.K < r*l {
 		return nil, Stats{}, fmt.Errorf("lsh: need k >= r*l = %d min-hash values, have %d (use SampledCandidates)", r*l, sig.K)
 	}
-	return bandCandidatesParallel(sig, disjointBands(r, l), workers, tick)
+	return bandCandidatesParallel(ctx, sig, disjointBands(r, l), workers, tick)
 }
 
 // SampledCandidatesParallel is SampledCandidates with bands sharded
 // across workers; the band layout is drawn from the same sequential RNG
 // as the serial variant, so the two produce identical candidate sets.
 func SampledCandidatesParallel(sig *minhash.Signatures, r, l int, seed uint64, workers int) (*pairs.Set, Stats, error) {
-	return SampledCandidatesParallelProgress(sig, r, l, seed, workers, nil)
+	return SampledCandidatesParallelProgress(context.Background(), sig, r, l, seed, workers, nil)
 }
 
 // SampledCandidatesParallelProgress is SampledCandidatesParallel with a
-// band-granularity progress hook following the
+// band-granularity progress hook and cancellation following the
 // CandidatesParallelProgress conventions.
-func SampledCandidatesParallelProgress(sig *minhash.Signatures, r, l int, seed uint64, workers int, tick obs.Tick) (*pairs.Set, Stats, error) {
+func SampledCandidatesParallelProgress(ctx context.Context, sig *minhash.Signatures, r, l int, seed uint64, workers int, tick obs.Tick) (*pairs.Set, Stats, error) {
 	if err := checkRL(r, l); err != nil {
 		return nil, Stats{}, err
 	}
 	if sig.K < r {
 		return nil, Stats{}, fmt.Errorf("lsh: need k >= r = %d min-hash values, have %d", r, sig.K)
 	}
-	return bandCandidatesParallel(sig, sampledBands(sig.K, r, l, seed), workers, tick)
+	return bandCandidatesParallel(ctx, sig, sampledBands(sig.K, r, l, seed), workers, tick)
 }
 
-func bandCandidatesParallel(sig *minhash.Signatures, bands [][]int, workers int, tick obs.Tick) (*pairs.Set, Stats, error) {
+func bandCandidatesParallel(ctx context.Context, sig *minhash.Signatures, bands [][]int, workers int, tick obs.Tick) (*pairs.Set, Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if workers < 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -70,15 +75,24 @@ func bandCandidatesParallel(sig *minhash.Signatures, bands [][]int, workers int,
 		workers = len(bands)
 	}
 	if workers <= 1 {
-		var progress func(int, []pairs.Pair) bool
-		if tick != nil {
-			total := int64(len(bands))
-			progress = func(band int, _ []pairs.Pair) bool {
+		// The serial pass cancels through the progress hook's existing
+		// abort channel (returning false stops the band loop), with the
+		// real cause recovered from ctx afterwards.
+		total := int64(len(bands))
+		progress := func(band int, _ []pairs.Pair) bool {
+			if tick != nil {
 				tick(int64(band+1), total)
-				return true
 			}
+			return ctx.Err() == nil
 		}
-		return bandCandidates(sig, bands, progress)
+		set, st, err := bandCandidates(sig, bands, progress)
+		if err == nil {
+			err = ctx.Err()
+		}
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		return set, st, nil
 	}
 
 	type bandOut struct {
@@ -94,7 +108,7 @@ func bandCandidatesParallel(sig *minhash.Signatures, bands [][]int, workers int,
 		go func() {
 			defer wg.Done()
 			key := make([]uint64, 0, 32)
-			for {
+			for ctx.Err() == nil {
 				b := int(next.Add(1)) - 1
 				if b >= len(bands) {
 					return
@@ -141,6 +155,9 @@ func bandCandidatesParallel(sig *minhash.Signatures, bands [][]int, workers int,
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, Stats{}, err
+	}
 
 	set := pairs.NewSet(1024)
 	var st Stats

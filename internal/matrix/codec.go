@@ -93,7 +93,13 @@ func ReadText(r io.Reader) (*Matrix, error) {
 	return b.Build(), nil
 }
 
-func readLine(br *bufio.Reader) (string, error) {
+// lineReader is the subset of bufio.Reader readLine needs; the
+// offset-tracked readers of the file-backed scans implement it too.
+type lineReader interface {
+	ReadString(delim byte) (string, error)
+}
+
+func readLine(br lineReader) (string, error) {
 	line, err := br.ReadString('\n')
 	if err == io.EOF && line != "" {
 		err = nil

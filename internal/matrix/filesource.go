@@ -3,6 +3,7 @@ package matrix
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -10,7 +11,71 @@ import (
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"syscall"
+	"time"
 )
+
+// FS abstracts the file opens a FileSource performs — the seam fault
+// injection and IO-hardening tests hook into. The default
+// implementation is the operating system. Implementations must serve
+// the same bytes on every Open of a path for scan results to be
+// meaningful.
+type FS interface {
+	Open(path string) (io.ReadCloser, error)
+}
+
+// osFS is the real file system.
+type osFS struct{}
+
+func (osFS) Open(path string) (io.ReadCloser, error) { return os.Open(path) }
+
+// OSFS returns the FS backed by the operating system, the one
+// OpenFileSource uses.
+func OSFS() FS { return osFS{} }
+
+// RetryPolicy bounds the retries a FileSource performs when an open or
+// read fails transiently (EAGAIN/EINTR-class errors, or anything
+// advertising Temporary() == true). Retries <= 0 disables retrying;
+// the backoff starts at BaseDelay and doubles per retry of the same
+// operation. Permanent errors — truncation, decode failures, missing
+// files — are never retried.
+type RetryPolicy struct {
+	Retries   int
+	BaseDelay time.Duration
+}
+
+// DefaultRetryPolicy is the policy a new FileSource starts with: a few
+// quick retries, cheap enough to be invisible on healthy disks, enough
+// to ride out momentary EAGAIN-class glitches.
+var DefaultRetryPolicy = RetryPolicy{Retries: 4, BaseDelay: time.Millisecond}
+
+// IsTransient reports whether err is a transient IO error worth
+// retrying: it advertises Temporary() == true, or it is
+// EAGAIN/EINTR-class underneath.
+func IsTransient(err error) bool {
+	var t interface{ Temporary() bool }
+	if errors.As(err, &t) && t.Temporary() {
+		return true
+	}
+	return errors.Is(err, syscall.EAGAIN) || errors.Is(err, syscall.EINTR)
+}
+
+// FileError reports a permanent failure of a file-backed scan: the
+// file, the byte offset the decoder had consumed when the failure
+// surfaced, and the underlying cause. Callback errors (including
+// context cancellation) are never wrapped in a FileError — only
+// decode and IO faults of the file itself are.
+type FileError struct {
+	Path   string
+	Offset int64
+	Err    error
+}
+
+func (e *FileError) Error() string {
+	return fmt.Sprintf("matrix: %s: byte %d: %v", e.Path, e.Offset, e.Err)
+}
+
+func (e *FileError) Unwrap() error { return e.Err }
 
 // FileSource is a RowSource that streams rows directly from a dataset
 // file, re-reading it on every Scan. It is the honest disk-resident
@@ -22,27 +87,71 @@ import (
 // row-major streaming binary format of WriteRowBinary (".arows").
 // The column-major ".amx" format cannot be row-streamed; convert it
 // first.
+//
+// Opens and reads that fail transiently (see IsTransient) are retried
+// with exponential backoff per the source's RetryPolicy; permanent
+// failures surface as *FileError carrying the path and byte offset.
 type FileSource struct {
 	path   string
+	fsys   FS
 	binary bool
 	rows   int
 	cols   int
+	retry  RetryPolicy
 
 	bytesRead atomic.Int64
+	retries   atomic.Int64
 }
 
 // Path returns the file the source streams from.
 func (fs *FileSource) Path() string { return fs.path }
 
+// NumRows implements RowSource with the row count from the file header.
+func (fs *FileSource) NumRows() int { return fs.rows }
+
+// NumCols implements RowSource with the column count from the header.
+func (fs *FileSource) NumCols() int { return fs.cols }
+
 // BytesRead returns the cumulative bytes read from disk by Scan passes
 // over this source. Safe for concurrent use.
 func (fs *FileSource) BytesRead() int64 { return fs.bytesRead.Load() }
+
+// IORetries returns the cumulative transient-error retries this
+// source's opens and reads performed. Safe for concurrent use.
+func (fs *FileSource) IORetries() int64 { return fs.retries.Load() }
+
+// FaultsInjected reports the faults the source's FS injected, when the
+// FS is a fault-injecting one (zero otherwise). Safe for concurrent
+// use.
+func (fs *FileSource) FaultsInjected() int64 {
+	if fc, ok := fs.fsys.(FaultCounter); ok {
+		return fc.FaultsInjected()
+	}
+	return 0
+}
+
+// SetRetryPolicy replaces the transient-error retry policy. Not safe
+// to call concurrently with Scan.
+func (fs *FileSource) SetRetryPolicy(p RetryPolicy) { fs.retry = p }
 
 // ByteCounter is implemented by sources that can report the disk bytes
 // their scans have consumed — the I/O the out-of-core path accounts in
 // Stats.BytesRead and the bytes_read counter.
 type ByteCounter interface {
 	BytesRead() int64
+}
+
+// RetryCounter is implemented by sources that can report how many
+// transient-error retries their IO performed — the io_retries counter.
+type RetryCounter interface {
+	IORetries() int64
+}
+
+// FaultCounter is implemented by fault-injecting FSes (and the sources
+// reading through them) to report how many faults were injected — the
+// faults_injected counter.
+type FaultCounter interface {
+	FaultsInjected() int64
 }
 
 // countingReader counts bytes as they leave the underlying reader.
@@ -57,83 +166,189 @@ func (c *countingReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
-// OpenFileSource validates the file header and returns a FileSource.
+// retryReader retries transient read errors with bounded exponential
+// backoff. It sits below the bufio layer, so a retried fault is
+// invisible to the decoder: the stream position never moves on a
+// failed read, and the retried read resumes exactly where the fault
+// hit. Errors that survive the retry budget propagate unchanged.
+type retryReader struct {
+	r       io.Reader
+	policy  RetryPolicy
+	retries *atomic.Int64
+}
+
+func (r *retryReader) Read(p []byte) (int, error) {
+	n, err := r.r.Read(p)
+	delay := r.policy.BaseDelay
+	for attempt := 0; attempt < r.policy.Retries && n == 0 && err != nil && IsTransient(err); attempt++ {
+		time.Sleep(delay)
+		delay *= 2
+		r.retries.Add(1)
+		n, err = r.r.Read(p)
+	}
+	if n > 0 && err != nil && IsTransient(err) {
+		// Bytes plus a transient error: deliver the bytes now; the next
+		// Read retries the faulting position.
+		err = nil
+	}
+	return n, err
+}
+
+// open opens the source's file through its FS, retrying transient
+// open failures per the retry policy.
+func (fs *FileSource) open() (io.ReadCloser, error) {
+	f, err := fs.fsys.Open(fs.path)
+	delay := fs.retry.BaseDelay
+	for attempt := 0; attempt < fs.retry.Retries && err != nil && IsTransient(err); attempt++ {
+		time.Sleep(delay)
+		delay *= 2
+		fs.retries.Add(1)
+		f, err = fs.fsys.Open(fs.path)
+	}
+	return f, err
+}
+
+// reader builds the source's layered read stack for one pass: bufio on
+// top for the decoders, byte accounting and transient-retry below, the
+// FS at the bottom. countBytes is false for the header validation at
+// open time — BytesRead accounts Scan passes only. The returned
+// trackedReader counts the bytes the decoder consumed (not the
+// read-ahead), so error offsets point at the failing entry.
+func (fs *FileSource) reader(f io.ReadCloser, countBytes bool) *trackedReader {
+	var r io.Reader = &retryReader{r: f, policy: fs.retry, retries: &fs.retries}
+	if countBytes {
+		r = &countingReader{r: r, n: &fs.bytesRead}
+	}
+	return &trackedReader{br: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// trackedReader counts the bytes the decoder consumed from the
+// buffered stream. Unlike a counter below the bufio layer it is not
+// skewed by read-ahead, so FileError offsets are exact.
+type trackedReader struct {
+	br  *bufio.Reader
+	off int64
+}
+
+func (t *trackedReader) Read(p []byte) (int, error) {
+	n, err := t.br.Read(p)
+	t.off += int64(n)
+	return n, err
+}
+
+func (t *trackedReader) ReadByte() (byte, error) {
+	b, err := t.br.ReadByte()
+	if err == nil {
+		t.off++
+	}
+	return b, err
+}
+
+func (t *trackedReader) ReadString(delim byte) (string, error) {
+	s, err := t.br.ReadString(delim)
+	t.off += int64(len(s))
+	return s, err
+}
+
+// byteScanner is the reader the row decoders consume: buffered reads
+// plus single bytes for varints.
+type byteScanner interface {
+	io.Reader
+	io.ByteReader
+}
+
+// OpenFileSource validates the file header and returns a FileSource
+// reading through the operating system.
 func OpenFileSource(path string) (*FileSource, error) {
-	fs := &FileSource{path: path, binary: strings.HasSuffix(path, ".arows")}
-	f, err := os.Open(path)
+	return OpenFileSourceFS(nil, path)
+}
+
+// OpenFileSourceFS is OpenFileSource with every open routed through
+// fsys (nil means the OS) — the seam fault-injection harnesses use to
+// exercise the IO failure paths.
+func OpenFileSourceFS(fsys FS, path string) (*FileSource, error) {
+	if fsys == nil {
+		fsys = osFS{}
+	}
+	fs := &FileSource{
+		path:   path,
+		fsys:   fsys,
+		binary: strings.HasSuffix(path, ".arows"),
+		retry:  DefaultRetryPolicy,
+	}
+	f, err := fs.open()
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	br := bufio.NewReader(f)
+	tr := fs.reader(f, false)
+	fail := func(err error) error {
+		return &FileError{Path: fs.path, Offset: tr.off, Err: err}
+	}
 	if fs.binary {
-		rows, cols, err := readRowBinaryHeader(br)
+		rows, cols, err := readRowBinaryHeader(tr)
 		if err != nil {
-			return nil, err
+			return nil, fail(err)
 		}
 		fs.rows, fs.cols = rows, cols
 		return fs, nil
 	}
-	line, err := readLine(br)
+	line, err := readLine(tr)
 	if err != nil {
-		return nil, fmt.Errorf("matrix: reading header of %s: %w", path, err)
+		return nil, fail(fmt.Errorf("reading header: %w", err))
 	}
 	if line != textHeader {
-		return nil, fmt.Errorf("matrix: %s: bad header %q", path, line)
+		return nil, fail(fmt.Errorf("bad header %q", line))
 	}
-	line, err = readLine(br)
+	line, err = readLine(tr)
 	if err != nil {
-		return nil, fmt.Errorf("matrix: reading dimensions of %s: %w", path, err)
+		return nil, fail(fmt.Errorf("reading dimensions: %w", err))
 	}
 	if _, err := fmt.Sscanf(line, "%d %d", &fs.rows, &fs.cols); err != nil {
-		return nil, fmt.Errorf("matrix: %s: bad dimension line %q: %w", path, line, err)
+		return nil, fail(fmt.Errorf("bad dimension line %q: %w", line, err))
 	}
 	if fs.rows < 0 || fs.cols < 0 {
-		return nil, fmt.Errorf("matrix: %s: negative dimensions", path)
+		return nil, fail(fmt.Errorf("negative dimensions"))
 	}
 	return fs, nil
 }
 
-// NumRows implements RowSource.
-func (fs *FileSource) NumRows() int { return fs.rows }
-
-// NumCols implements RowSource.
-func (fs *FileSource) NumCols() int { return fs.cols }
-
 // Scan implements RowSource with one sequential pass over the file.
+// Decode and IO failures return a *FileError with the path and byte
+// offset reached; errors returned by fn pass through unchanged.
 func (fs *FileSource) Scan(fn func(row int, cols []int32) error) error {
-	f, err := os.Open(fs.path)
+	f, err := fs.open()
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	br := bufio.NewReaderSize(&countingReader{r: f, n: &fs.bytesRead}, 1<<16)
+	tr := fs.reader(f, true)
+	fail := func(err error) error {
+		return &FileError{Path: fs.path, Offset: tr.off, Err: err}
+	}
 	if fs.binary {
-		if err := scanRowBinary(br, fs.rows, fs.cols, fn); err != nil {
-			return fmt.Errorf("%s: %w", fs.path, err)
-		}
-		return nil
+		return scanRowBinary(tr, fs.rows, fs.cols, fail, fn)
 	}
 	// Skip the two header lines.
 	for i := 0; i < 2; i++ {
-		if _, err := readLine(br); err != nil {
-			return err
+		if _, err := readLine(tr); err != nil {
+			return fail(fmt.Errorf("reading header: %w", err))
 		}
 	}
 	var buf []int32
 	for row := 0; row < fs.rows; row++ {
-		line, err := readLine(br)
+		line, err := readLine(tr)
 		if err != nil {
-			return fmt.Errorf("matrix: %s row %d: %w", fs.path, row, err)
+			return fail(fmt.Errorf("row %d: %w", row, err))
 		}
 		buf = buf[:0]
 		for _, field := range strings.Fields(line) {
 			c, err := strconv.Atoi(field)
 			if err != nil {
-				return fmt.Errorf("matrix: %s row %d: bad column %q", fs.path, row, field)
+				return fail(fmt.Errorf("row %d: bad column %q", row, field))
 			}
 			if c < 0 || c >= fs.cols {
-				return fmt.Errorf("matrix: %s row %d: column %d out of range", fs.path, row, c)
+				return fail(fmt.Errorf("row %d: column %d out of range", row, c))
 			}
 			buf = append(buf, int32(c))
 		}
@@ -194,52 +409,58 @@ func WriteRowBinary(w io.Writer, src RowSource) error {
 	return bw.Flush()
 }
 
-func readRowBinaryHeader(br *bufio.Reader) (rows, cols int, err error) {
+func readRowBinaryHeader(r byteScanner) (rows, cols int, err error) {
 	magic := make([]byte, len(rowBinaryMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return 0, 0, fmt.Errorf("matrix: reading row-binary magic: %w", err)
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return 0, 0, fmt.Errorf("reading row-binary magic: %w", err)
 	}
 	if string(magic) != rowBinaryMagic {
-		return 0, 0, fmt.Errorf("matrix: bad row-binary magic %q", magic)
+		return 0, 0, fmt.Errorf("bad row-binary magic %q", magic)
 	}
-	r64, err := binary.ReadUvarint(br)
+	r64, err := binary.ReadUvarint(r)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, fmt.Errorf("reading row count: %w", err)
 	}
-	c64, err := binary.ReadUvarint(br)
+	c64, err := binary.ReadUvarint(r)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, fmt.Errorf("reading column count: %w", err)
 	}
 	const maxDim = 1 << 31
 	if r64 > maxDim || c64 > maxDim {
-		return 0, 0, fmt.Errorf("matrix: implausible row-binary dimensions %dx%d", r64, c64)
+		return 0, 0, fmt.Errorf("implausible row-binary dimensions %dx%d", r64, c64)
 	}
 	return int(r64), int(c64), nil
 }
 
-func scanRowBinary(br *bufio.Reader, wantRows, wantCols int, fn func(int, []int32) error) error {
-	rows, cols, err := readRowBinaryHeader(br)
+// scanRowBinary decodes the row-binary stream, invoking fn per row.
+// Decode failures are passed through wrap (which attaches path and
+// offset); errors returned by fn propagate unchanged.
+func scanRowBinary(r byteScanner, wantRows, wantCols int, wrap func(error) error, fn func(int, []int32) error) error {
+	if wrap == nil {
+		wrap = func(err error) error { return err }
+	}
+	rows, cols, err := readRowBinaryHeader(r)
 	if err != nil {
-		return err
+		return wrap(err)
 	}
 	if rows != wantRows || cols != wantCols {
-		return fmt.Errorf("matrix: row-binary dimensions changed on disk: %dx%d", rows, cols)
+		return wrap(fmt.Errorf("row-binary dimensions changed on disk: %dx%d", rows, cols))
 	}
 	var buf []int32
 	for row := 0; row < rows; row++ {
-		length, err := binary.ReadUvarint(br)
+		length, err := binary.ReadUvarint(r)
 		if err != nil {
-			return fmt.Errorf("matrix: row %d length: %w", row, err)
+			return wrap(fmt.Errorf("row %d length: %w", row, err))
 		}
 		if length > uint64(cols) {
-			return fmt.Errorf("matrix: row %d length %d exceeds column count", row, length)
+			return wrap(fmt.Errorf("row %d length %d exceeds column count", row, length))
 		}
 		buf = buf[:0]
 		prev := int32(0)
 		for i := uint64(0); i < length; i++ {
-			d, err := binary.ReadUvarint(br)
+			d, err := binary.ReadUvarint(r)
 			if err != nil {
-				return fmt.Errorf("matrix: row %d entry %d: %w", row, i, err)
+				return wrap(fmt.Errorf("row %d entry %d: %w", row, i, err))
 			}
 			var v int32
 			if i == 0 {
@@ -248,7 +469,7 @@ func scanRowBinary(br *bufio.Reader, wantRows, wantCols int, fn func(int, []int3
 				v = prev + int32(d)
 			}
 			if v < 0 || int(v) >= cols || (i > 0 && v <= prev) {
-				return fmt.Errorf("matrix: row %d entry %d out of range", row, i)
+				return wrap(fmt.Errorf("row %d entry %d out of range", row, i))
 			}
 			buf = append(buf, v)
 			prev = v

@@ -3,6 +3,8 @@ package matrix
 import (
 	"errors"
 	"testing"
+
+	"assocmine/internal/testutil"
 )
 
 func shardFixture(rows, colsPerRow int) *SliceSource {
@@ -105,6 +107,7 @@ func TestScanShardsError(t *testing.T) {
 // TestFanOutShards: every consumer sees the complete row stream in
 // order, and the reported shard count matches a direct ScanShards.
 func TestFanOutShards(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	src := shardFixture(211, 5)
 	const workers = 4
 	var totals [workers]int64

@@ -66,6 +66,13 @@ const (
 	// exceeded Config.MemoryBudget.
 	CounterSpillRuns  = "spill_runs"
 	CounterSpillBytes = "spill_bytes"
+	// CounterIORetries counts transient IO errors the file-backed
+	// source retried away (absent on healthy disks and in-memory runs).
+	CounterIORetries = "io_retries"
+	// CounterFaultsInjected counts faults a fault-injecting FS (see
+	// internal/faultfs) delivered into the run's reads — nonzero only
+	// under chaos harnesses, never in production.
+	CounterFaultsInjected = "faults_injected"
 )
 
 // Gauge names. Gauges record the last value set.

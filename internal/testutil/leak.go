@@ -1,0 +1,46 @@
+// Package testutil holds helpers shared by the repository's tests.
+package testutil
+
+import (
+	"runtime"
+	"time"
+)
+
+// TB is the subset of testing.TB the helpers need; declared locally so
+// non-test code importing this package does not pull in testing.
+type TB interface {
+	Helper()
+	Cleanup(func())
+	Errorf(format string, args ...any)
+}
+
+// CheckGoroutines snapshots the goroutine count and registers a
+// cleanup that fails the test if, after a grace period, more
+// goroutines are running than at the snapshot — the symptom of a scan
+// fan-out or worker pool leaking on an error or cancellation path.
+// Call it first in the test, before any goroutines of interest start.
+//
+// The check polls because healthy goroutines still need a moment to
+// observe channel closes and unwind; only a count that stays elevated
+// for the full window is a leak.
+func CheckGoroutines(t TB) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		var n int
+		for {
+			n = runtime.NumGoroutine()
+			if n <= base {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Errorf("goroutine leak: %d running, %d at test start\n%s", n, base, buf)
+	})
+}

@@ -1,0 +1,48 @@
+package testutil
+
+import (
+	"testing"
+	"time"
+)
+
+// recordingTB captures Errorf calls and runs cleanups like testing.T.
+type recordingTB struct {
+	cleanups []func()
+	failed   bool
+}
+
+func (r *recordingTB) Helper()               {}
+func (r *recordingTB) Cleanup(f func())      { r.cleanups = append(r.cleanups, f) }
+func (r *recordingTB) Errorf(string, ...any) { r.failed = true }
+func (r *recordingTB) runCleanups() {
+	for i := len(r.cleanups) - 1; i >= 0; i-- {
+		r.cleanups[i]()
+	}
+}
+
+func TestCheckGoroutinesPassesWhenBalanced(t *testing.T) {
+	rec := &recordingTB{}
+	CheckGoroutines(rec)
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+	rec.runCleanups()
+	if rec.failed {
+		t.Fatal("CheckGoroutines flagged a leak after goroutines exited")
+	}
+}
+
+func TestCheckGoroutinesToleratesSlowExit(t *testing.T) {
+	rec := &recordingTB{}
+	CheckGoroutines(rec)
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(150 * time.Millisecond) // exits within the grace window
+		close(done)
+	}()
+	rec.runCleanups()
+	<-done
+	if rec.failed {
+		t.Fatal("CheckGoroutines flagged a goroutine that exited inside the grace period")
+	}
+}

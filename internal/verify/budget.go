@@ -236,13 +236,21 @@ func (w *budgetWorker) processRow(r int32, cols []int32) error {
 	return nil
 }
 
-// spill writes the table as one sorted run and resets it.
-func (w *budgetWorker) spill() error {
+// spill writes the table as one sorted run and resets it. The run file
+// joins w.runs only on success; any write failure deletes it on the
+// spot, so cleanup never has an orphan to miss.
+func (w *budgetWorker) spill() (err error) {
 	entries := w.sortedEntries()
 	f, err := os.CreateTemp(w.dir, "assocmine-spill-*.run")
 	if err != nil {
 		return err
 	}
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(f.Name())
+		}
+	}()
 	bw := bufio.NewWriter(f)
 	var buf [binary.MaxVarintLen64]byte
 	var written int64
@@ -250,14 +258,12 @@ func (w *budgetWorker) spill() error {
 		for _, v := range [3]uint64{uint64(uint32(e.idx)), uint64(e.either), uint64(e.both)} {
 			n := binary.PutUvarint(buf[:], v)
 			if _, err := bw.Write(buf[:n]); err != nil {
-				f.Close()
 				return err
 			}
 			written += int64(n)
 		}
 	}
 	if err := bw.Flush(); err != nil {
-		f.Close()
 		return err
 	}
 	w.runs = append(w.runs, f)

@@ -1,0 +1,114 @@
+package verify
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"assocmine/internal/hashing"
+	"assocmine/internal/matrix"
+	"assocmine/internal/testutil"
+)
+
+// countSpillFiles returns how many spill run files remain in dir.
+func countSpillFiles(t *testing.T, dir string) int {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "assocmine-spill-*.run"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(matches)
+}
+
+// TestBudgetWorkerCleanupAfterMergeFailure is the regression test for
+// spill-file leaks: force spills, corrupt a run so the k-way merge
+// fails mid-way, and verify cleanup leaves the spill directory empty.
+func TestBudgetWorkerCleanupAfterMergeFailure(t *testing.T) {
+	rng := hashing.NewSplitMix64(23)
+	m := randomMatrix(rng, 400, 40, 0.2)
+	cand := allPairsCandidates(40)
+	dir := t.TempDir()
+	w := newBudgetWorker(40, cand, 0.01, minSpillEntries, dir)
+	err := m.Stream().Scan(func(row int, cols []int32) error {
+		return w.processRow(int32(row), cols)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.runs) < 2 {
+		t.Fatalf("only %d spill runs; fixture too small to force the merge", len(w.runs))
+	}
+	// Chop the first run mid-entry so the merge hits a decode error.
+	if err := os.Truncate(w.runs[0].Name(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.finish(); err == nil {
+		t.Fatal("finish succeeded over a corrupted run")
+	}
+	w.cleanup()
+	if n := countSpillFiles(t, dir); n != 0 {
+		t.Fatalf("%d spill files remain after cleanup", n)
+	}
+}
+
+// errAfterSource delivers rows until failAt, then fails the scan — a
+// permanent mid-pass fault.
+type errAfterSource struct {
+	src    matrix.RowSource
+	failAt int
+}
+
+var errMidScan = errors.New("synthetic mid-scan failure")
+
+func (e *errAfterSource) NumRows() int { return e.src.NumRows() }
+func (e *errAfterSource) NumCols() int { return e.src.NumCols() }
+func (e *errAfterSource) Scan(fn func(row int, cols []int32) error) error {
+	return e.src.Scan(func(row int, cols []int32) error {
+		if row >= e.failAt {
+			return errMidScan
+		}
+		return fn(row, cols)
+	})
+}
+
+// TestExactBudgetedCleanupOnScanError: a scan failing after enough rows
+// to force spills must propagate the error and leave zero run files,
+// at both the serial and fan-out worker counts.
+func TestExactBudgetedCleanupOnScanError(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	rng := hashing.NewSplitMix64(29)
+	m := randomMatrix(rng, 500, 40, 0.2)
+	cand := allPairsCandidates(40)
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			dir := t.TempDir()
+			src := &errAfterSource{src: m.Stream(), failAt: 400}
+			_, _, err := ExactBudgeted(src, cand, 0.01, Budget{Bytes: 4096, Dir: dir}, workers, nil)
+			if !errors.Is(err, errMidScan) {
+				t.Fatalf("err = %v, want the mid-scan failure", err)
+			}
+			if n := countSpillFiles(t, dir); n != 0 {
+				t.Fatalf("%d spill files remain after failed scan", n)
+			}
+		})
+	}
+}
+
+// TestExactBudgetedSpillDirMissing: an unusable spill directory must
+// surface as an error from the first spill, not a panic or a hang, and
+// obviously leave nothing behind.
+func TestExactBudgetedSpillDirMissing(t *testing.T) {
+	rng := hashing.NewSplitMix64(31)
+	m := randomMatrix(rng, 400, 40, 0.2)
+	cand := allPairsCandidates(40)
+	dir := filepath.Join(t.TempDir(), "does", "not", "exist")
+	_, _, err := ExactBudgeted(m.Stream(), cand, 0.01, Budget{Bytes: 4096, Dir: dir}, 1, nil)
+	if err == nil {
+		t.Fatal("ExactBudgeted succeeded with a nonexistent spill dir")
+	}
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("err = %v, want to wrap fs.ErrNotExist", err)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"assocmine/internal/hashing"
 	"assocmine/internal/matrix"
 	"assocmine/internal/pairs"
+	"assocmine/internal/testutil"
 )
 
 // streamOnly hides the ConcurrentScan capability of an in-memory
@@ -32,6 +33,7 @@ func allPairsCandidates(cols int) []pairs.Scored {
 }
 
 func TestExactParallelMatchesSerial(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	rng := hashing.NewSplitMix64(7)
 	m := randomMatrix(rng, 500, 60, 0.1)
 	cand := allPairsCandidates(60) // 1770 candidates: several shards at every worker count
@@ -108,6 +110,7 @@ func TestExactParallelErrors(t *testing.T) {
 }
 
 func TestExactParallelPropagatesScanError(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	boom := errors.New("boom")
 	src := &failingSource{rows: 100, cols: 8, failAt: 40, err: boom}
 	cand := allPairsCandidates(8)

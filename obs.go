@@ -67,6 +67,8 @@ const (
 	CounterShards           = obs.CounterShards
 	CounterSpillRuns        = obs.CounterSpillRuns
 	CounterSpillBytes       = obs.CounterSpillBytes
+	CounterIORetries        = obs.CounterIORetries
+	CounterFaultsInjected   = obs.CounterFaultsInjected
 
 	GaugeSignatureWorkers = obs.GaugeSignatureWorkers
 	GaugeCandidateWorkers = obs.GaugeCandidateWorkers

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"assocmine/internal/testutil"
 )
 
 func obsFixture(t *testing.T) *Dataset {
@@ -134,6 +136,7 @@ func TestRecorderSpansAndStats(t *testing.T) {
 // done == total for every phase, for every algorithm, serial and
 // parallel.
 func TestProgressMonotonic(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	d := obsFixture(t)
 	algos := []struct {
 		algo Algorithm
@@ -197,6 +200,7 @@ func TestProgressMonotonic(t *testing.T) {
 // TestProgressDoesNotChangeResults: hooked and unhooked runs of the
 // same configuration produce identical pairs and work counters.
 func TestProgressDoesNotChangeResults(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	d := obsFixture(t)
 	for _, workers := range []int{1, 4} {
 		cfg := Config{Algorithm: MinHash, Threshold: 0.5, K: 60, Seed: 3, Workers: workers}

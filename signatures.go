@@ -110,7 +110,7 @@ func SimilarPairsWithSignatures(d *Dataset, s *Signatures, cfg Config) (*Result,
 		cutoff := (1 - cfg.Delta) * cfg.Threshold
 		var cst candidate.Stats
 		var err error
-		cand, cst, err = candidate.RowSortMHParallelProgress(s.sig, cutoff, cfg.Workers, tick)
+		cand, cst, err = candidate.RowSortMHParallelProgress(cfg.context(), s.sig, cutoff, cfg.Workers, tick)
 		if err != nil {
 			return nil, err
 		}
@@ -119,7 +119,7 @@ func SimilarPairsWithSignatures(d *Dataset, s *Signatures, cfg Config) (*Result,
 		if s.sig.K < cfg.R*cfg.L {
 			return nil, fmt.Errorf("assocmine: sketch K=%d cannot host %d bands of %d rows", s.sig.K, cfg.L, cfg.R)
 		}
-		set, lst, err := lsh.CandidatesParallelProgress(s.sig, cfg.R, cfg.L, cfg.Workers, tick)
+		set, lst, err := lsh.CandidatesParallelProgress(cfg.context(), s.sig, cfg.R, cfg.L, cfg.Workers, tick)
 		if err != nil {
 			return nil, err
 		}
@@ -144,6 +144,9 @@ func SimilarPairsWithSignatures(d *Dataset, s *Signatures, cfg Config) (*Result,
 	tick = prog.enter(PhaseVerify)
 	end = phaseSpan(rec, PhaseVerify)
 	vsrc := matrix.RowSource(d.m.Stream())
+	if cfg.Context != nil {
+		vsrc = matrix.WithContext(cfg.Context, vsrc)
+	}
 	if tick != nil {
 		vsrc = &matrix.ProgressSource{Src: vsrc, Tick: tick}
 	}
