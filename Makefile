@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check statcheck streamcheck chaoscheck race race-all vet fmt bench bench-json experiments experiments-full fuzz clean
+.PHONY: all build test check statcheck streamcheck chaoscheck packedcheck race race-all vet fmt bench bench-json benchdiff experiments experiments-full fuzz clean
 
 all: build vet test
 
@@ -12,7 +12,7 @@ build:
 test:
 	$(GO) test ./...
 
-check: build vet test race statcheck streamcheck chaoscheck
+check: build vet test race statcheck streamcheck chaoscheck packedcheck
 
 # The statistical-accuracy suite (recall / false-positive-rate bounds
 # on seeded synthetic matrices; deterministic).
@@ -37,6 +37,14 @@ chaoscheck:
 	$(GO) test -race ./internal/faultfs ./internal/testutil
 	$(GO) test -race -run 'TestBudgetWorkerCleanup|TestExactBudgetedCleanup|TestExactBudgetedSpillDir|TestFileSourceDecodeErrors' ./internal/verify ./internal/matrix
 
+# The packed-kernel differential suite under the race detector: the
+# word-packed popcount verifier bit-identical to the scalar kernels
+# across sources, budgets, and worker counts, plus the end-to-end
+# kernel loops in the streamed/chaos/statistical harnesses.
+packedcheck:
+	$(GO) test -race -run 'TestPacked|TestAutoPack' ./internal/verify
+	$(GO) test -race -run 'TestKernelOutcomesAgree' ./internal/statstest
+
 # Race-detect the packages with concurrent code paths (fast); race-all
 # covers the whole tree.
 race:
@@ -54,9 +62,20 @@ fmt:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Per-phase serial-vs-parallel timings as JSON (ns/op + speedup).
+# Per-phase serial-vs-parallel timings as JSON (ns/op + allocs/op +
+# speedup).
 bench-json:
 	$(GO) run ./cmd/benchjson -out BENCH_pipeline.json
+
+# Re-time every phase and fail if any regressed >15% against the
+# committed BENCH_pipeline.json. `make benchdiff UPDATE=1` accepts the
+# fresh numbers as the new baseline instead.
+benchdiff:
+ifdef UPDATE
+	$(GO) run ./cmd/benchjson -against BENCH_pipeline.json -update -out BENCH_pipeline.json
+else
+	$(GO) run ./cmd/benchjson -against BENCH_pipeline.json -out /dev/null
+endif
 
 # Regenerate every paper table and figure (text to stdout).
 experiments:
@@ -73,6 +92,7 @@ fuzz:
 	$(GO) test ./internal/minhash -fuzz FuzzReadSignatures -fuzztime 10s
 	$(GO) test . -fuzz FuzzOpenFileDataset -fuzztime 10s
 	$(GO) test ./internal/faultfs -fuzz FuzzPlanRowBinary -fuzztime 10s
+	$(GO) test ./internal/verify -fuzz FuzzPackedVsScalar -fuzztime 10s
 
 clean:
 	rm -rf internal/matrix/testdata/fuzz internal/faultfs/testdata/fuzz

@@ -70,6 +70,25 @@ func (a Algorithm) String() string {
 	}
 }
 
+// Kernel selects the verification counting kernel; see
+// Config.VerifyKernel.
+type Kernel = verify.Kernel
+
+const (
+	// KernelAuto (the zero value) picks the packed kernel when the
+	// candidate-column bitmaps fit comfortably in memory and the scalar
+	// kernel otherwise; verify.AutoPack is the exact heuristic.
+	KernelAuto = verify.KernelAuto
+	// KernelPacked forces the word-packed popcount kernel.
+	KernelPacked = verify.KernelPacked
+	// KernelScalar forces the per-row counter-scatter kernels.
+	KernelScalar = verify.KernelScalar
+)
+
+// ParseKernel converts a flag spelling ("auto", "packed", "scalar";
+// empty means auto) into a Kernel.
+func ParseKernel(s string) (Kernel, error) { return verify.ParseKernel(s) }
+
 // Config controls SimilarPairs. Zero values select documented defaults.
 type Config struct {
 	// Algorithm picks the scheme; default BruteForce.
@@ -138,6 +157,16 @@ type Config struct {
 	// "" means the OS temp directory. Run files never outlive the call,
 	// successful or not.
 	SpillDir string
+	// VerifyKernel selects the verification counting kernel. KernelAuto
+	// (the default) runs the word-packed popcount kernel when the
+	// candidate-column bitmaps fit comfortably in memory — and, under a
+	// MemoryBudget, only when the whole arena fits the budget — falling
+	// back to the scalar counter kernels otherwise. KernelPacked forces
+	// packing (batching the candidate columns against any MemoryBudget);
+	// KernelScalar forces the scalar kernels. Results are bit-identical
+	// across kernels; Stats reports the packed work (PackedWords,
+	// PackedBatches).
+	VerifyKernel Kernel
 }
 
 // context returns the run's context, Background when none was set.
@@ -277,6 +306,12 @@ type Stats struct {
 	// disks and in-memory sources).
 	IORetries      int64
 	FaultsInjected int64
+	// PackedWords counts the uint64 AND/OR word operations of the
+	// packed verification kernel and PackedBatches the candidate
+	// batches its bit-column arena was rebuilt for (both 0 when
+	// verification ran a scalar kernel).
+	PackedWords   int64
+	PackedBatches int64
 }
 
 // Total returns the end-to-end running time.
@@ -548,7 +583,34 @@ func similarPairs(rawSrc matrix.RowSource, materialize func() (*matrix.Matrix, e
 	var verified []pairs.Scored
 	var vst verify.Stats
 	var err error
-	if cs, ok := rawSrc.(matrix.ConcurrentSource); ok && cs.ConcurrentScan() && cfg.Workers > 1 && len(cand) > 0 && cfg.MemoryBudget <= 0 {
+	// Kernel selection consults only (n, m, cand, budget) — never the
+	// source type — so the in-memory and streamed runs of one job pick
+	// the same kernel and stay bit-identical.
+	usePacked := cfg.VerifyKernel == KernelPacked ||
+		(cfg.VerifyKernel == KernelAuto && verify.AutoPack(rawSrc.NumRows(), rawSrc.NumCols(), cand, cfg.MemoryBudget))
+	if usePacked {
+		popt := verify.PackedOptions{
+			Budget:  verify.Budget{Bytes: cfg.MemoryBudget, Dir: cfg.SpillDir},
+			Workers: cfg.Workers,
+			Context: cfg.Context,
+			Tick:    tick,
+		}
+		// In-memory sources pack straight from their column lists (no
+		// row scan) or via concurrent per-worker scans; account one
+		// I/O-equivalent pass by hand, as the scalar fast path does.
+		// Everything else scans through the counting wrapper. The packed
+		// pass ticks candidate pairs itself, so src is never wrapped in
+		// a row-granularity ProgressSource.
+		_, lister := rawSrc.(matrix.ColumnLister)
+		cs, okc := rawSrc.(matrix.ConcurrentSource)
+		if cfg.MemoryBudget <= 0 && len(cand) > 0 && (lister || (okc && cs.ConcurrentScan() && cfg.Workers > 1)) {
+			counting.Passes++
+			counting.Rows += int64(rawSrc.NumRows())
+			verified, vst, err = verify.ExactPacked(rawSrc, cand, cfg.Threshold, popt)
+		} else {
+			verified, vst, err = verify.ExactPacked(src, cand, cfg.Threshold, popt)
+		}
+	} else if cs, ok := rawSrc.(matrix.ConcurrentSource); ok && cs.ConcurrentScan() && cfg.Workers > 1 && len(cand) > 0 && cfg.MemoryBudget <= 0 {
 		counting.Passes++
 		counting.Rows += int64(rawSrc.NumRows())
 		verified, vst, err = verify.ExactParallelProgress(rawSrc, cand, cfg.Threshold, cfg.Workers, tick)
@@ -572,6 +634,8 @@ func similarPairs(rawSrc matrix.RowSource, materialize func() (*matrix.Matrix, e
 	addNonzero(rec, obs.CounterShards, vst.Shards)
 	addNonzero(rec, obs.CounterSpillRuns, vst.SpillRuns)
 	addNonzero(rec, obs.CounterSpillBytes, vst.SpillBytes)
+	addNonzero(rec, obs.CounterPackedWords, vst.PackedWords)
+	addNonzero(rec, obs.CounterPackedBatches, vst.PackedBatches)
 	prog.finish(PhaseVerify)
 	st.Verified = len(verified)
 	st.FalsePositives = len(cand) - len(verified)
@@ -614,6 +678,8 @@ func (s *Stats) fillFrom(c *Collector) {
 	s.SpillBytes = c.Counter(CounterSpillBytes)
 	s.IORetries = c.Counter(CounterIORetries)
 	s.FaultsInjected = c.Counter(CounterFaultsInjected)
+	s.PackedWords = c.Counter(CounterPackedWords)
+	s.PackedBatches = c.Counter(CounterPackedBatches)
 }
 
 // computeMH runs the MH signature pass, parallel when cfg.Workers asks

@@ -78,53 +78,63 @@ func TestChaosTransientFaultsBitIdentical(t *testing.T) {
 		path := saveChaosFile(t, d, ext)
 		for _, a := range chaosAlgos {
 			for _, workers := range []int{1, 4} {
-				t.Run(fmt.Sprintf("%s/%s/workers=%d", ext[1:], a.name, workers), func(t *testing.T) {
-					cfg := a.cfg
-					cfg.Workers = workers
-					cleanFD, err := OpenFileDataset(path)
-					if err != nil {
-						t.Fatal(err)
-					}
-					clean, err := cleanFD.SimilarPairs(cfg)
-					if err != nil {
-						t.Fatalf("fault-free run: %v", err)
-					}
-					fs := &faultfs.FS{
-						Plan:    transientPlan(97),
-						OpenErr: faultfs.TransientOpens(1),
-					}
-					faultyFD, err := OpenFileDatasetFS(fs, path)
-					if err != nil {
-						t.Fatalf("open through faulty FS: %v", err)
-					}
-					faultyFD.SetRetryPolicy(chaosRetry)
-					faulty, err := faultyFD.SimilarPairs(cfg)
-					if err != nil {
-						t.Fatalf("faulty run: %v", err)
-					}
-					if len(faulty.Pairs) != len(clean.Pairs) {
-						t.Fatalf("%d pairs under faults, %d fault-free", len(faulty.Pairs), len(clean.Pairs))
-					}
-					for i := range clean.Pairs {
-						if faulty.Pairs[i] != clean.Pairs[i] {
-							t.Fatalf("pair %d: %+v under faults, %+v fault-free", i, faulty.Pairs[i], clean.Pairs[i])
+				for _, kernel := range []Kernel{KernelScalar, KernelPacked} {
+					t.Run(fmt.Sprintf("%s/%s/workers=%d/%v", ext[1:], a.name, workers, kernel), func(t *testing.T) {
+						cfg := a.cfg
+						cfg.Workers = workers
+						cfg.VerifyKernel = kernel
+						cleanFD, err := OpenFileDataset(path)
+						if err != nil {
+							t.Fatal(err)
 						}
-					}
-					comparePairSections(t, faulty.Stats, clean.Stats)
-					if faulty.Stats.BytesRead != clean.Stats.BytesRead {
-						t.Errorf("BytesRead = %d under faults, %d fault-free", faulty.Stats.BytesRead, clean.Stats.BytesRead)
-					}
-					if faulty.Stats.FaultsInjected <= 0 {
-						t.Error("faulty run reported zero injected faults")
-					}
-					if faulty.Stats.IORetries <= 0 {
-						t.Error("faulty run reported zero IO retries")
-					}
-					if clean.Stats.FaultsInjected != 0 || clean.Stats.IORetries != 0 {
-						t.Errorf("fault-free run reported faults=%d retries=%d",
-							clean.Stats.FaultsInjected, clean.Stats.IORetries)
-					}
-				})
+						clean, err := cleanFD.SimilarPairs(cfg)
+						if err != nil {
+							t.Fatalf("fault-free run: %v", err)
+						}
+						if kernel == KernelPacked && clean.Stats.Candidates > 0 && clean.Stats.PackedBatches == 0 {
+							t.Errorf("packed kernel requested but no batches reported: %+v", clean.Stats)
+						}
+						fs := &faultfs.FS{
+							Plan:    transientPlan(97),
+							OpenErr: faultfs.TransientOpens(1),
+						}
+						faultyFD, err := OpenFileDatasetFS(fs, path)
+						if err != nil {
+							t.Fatalf("open through faulty FS: %v", err)
+						}
+						faultyFD.SetRetryPolicy(chaosRetry)
+						faulty, err := faultyFD.SimilarPairs(cfg)
+						if err != nil {
+							t.Fatalf("faulty run: %v", err)
+						}
+						if len(faulty.Pairs) != len(clean.Pairs) {
+							t.Fatalf("%d pairs under faults, %d fault-free", len(faulty.Pairs), len(clean.Pairs))
+						}
+						for i := range clean.Pairs {
+							if faulty.Pairs[i] != clean.Pairs[i] {
+								t.Fatalf("pair %d: %+v under faults, %+v fault-free", i, faulty.Pairs[i], clean.Pairs[i])
+							}
+						}
+						comparePairSections(t, faulty.Stats, clean.Stats)
+						if faulty.Stats.PackedBatches != clean.Stats.PackedBatches {
+							t.Errorf("PackedBatches = %d under faults, %d fault-free",
+								faulty.Stats.PackedBatches, clean.Stats.PackedBatches)
+						}
+						if faulty.Stats.BytesRead != clean.Stats.BytesRead {
+							t.Errorf("BytesRead = %d under faults, %d fault-free", faulty.Stats.BytesRead, clean.Stats.BytesRead)
+						}
+						if faulty.Stats.FaultsInjected <= 0 {
+							t.Error("faulty run reported zero injected faults")
+						}
+						if faulty.Stats.IORetries <= 0 {
+							t.Error("faulty run reported zero IO retries")
+						}
+						if clean.Stats.FaultsInjected != 0 || clean.Stats.IORetries != 0 {
+							t.Errorf("fault-free run reported faults=%d retries=%d",
+								clean.Stats.FaultsInjected, clean.Stats.IORetries)
+						}
+					})
+				}
 			}
 		}
 	}
@@ -210,6 +220,10 @@ func TestChaosCancellation(t *testing.T) {
 	}
 	path := saveChaosFile(t, d, ".arows")
 	mh := Config{Algorithm: MinHash, Threshold: 0.3, K: 40, Delta: 0.9, Seed: 13, MemoryBudget: 4096}
+	// The packed-verify case drops the budget (forcing it would batch the
+	// arena instead of spilling) and cancels inside the popcount sweep,
+	// which ticks pair progress at chunk granularity.
+	mhPacked := Config{Algorithm: MinHash, Threshold: 0.3, K: 40, Delta: 0.9, Seed: 13, VerifyKernel: KernelPacked}
 	cases := []struct {
 		name  string
 		cfg   Config
@@ -218,6 +232,7 @@ func TestChaosCancellation(t *testing.T) {
 		{"MH/signatures", mh, PhaseSignatures},
 		{"MH/candidates", mh, PhaseCandidates},
 		{"MH/verify", mh, PhaseVerify},
+		{"MH/verify-packed", mhPacked, PhaseVerify},
 		{"K-MH/candidates", Config{Algorithm: KMinHash, Threshold: 0.5, K: 50, Seed: 7}, PhaseCandidates},
 		{"M-LSH/candidates", Config{Algorithm: MinLSH, Threshold: 0.5, K: 50, R: 5, L: 10, Seed: 7}, PhaseCandidates},
 	}

@@ -44,6 +44,7 @@ type options struct {
 	stats       bool
 	stream      bool
 	memBudget   string
+	kernel      string
 	timeout     time.Duration
 	txns        bool
 	clusters    bool
@@ -72,6 +73,7 @@ func main() {
 	flag.BoolVar(&o.stats, "stats", true, "print phase statistics")
 	flag.BoolVar(&o.stream, "stream", false, "mine directly from disk (one file pass per phase; .txt or .arows)")
 	flag.StringVar(&o.memBudget, "mem-budget", "", "verification counter-table budget, e.g. 64K, 16M, 1G (bytes if no suffix); empty or 0 = unlimited. When the candidate counters exceed it, the exact pass spills sorted runs to disk")
+	flag.StringVar(&o.kernel, "kernel", "auto", "verification kernel: auto | packed | scalar. auto packs candidate columns into popcount bitmaps when they fit in memory; results are bit-identical either way")
 	flag.DurationVar(&o.timeout, "timeout", 0, "abort the mining run after this long, e.g. 30s, 5m; 0 = no limit. Aborted runs clean up their spill files and exit non-zero")
 	flag.BoolVar(&o.txns, "transactions", false, "input is named-transaction format (item names per line)")
 	flag.BoolVar(&o.clusters, "clusters", false, "also group the found pairs into column clusters")
@@ -180,10 +182,14 @@ func run(o options) error {
 	if err != nil {
 		return fmt.Errorf("-mem-budget: %w", err)
 	}
+	kernel, err := assocmine.ParseKernel(o.kernel)
+	if err != nil {
+		return fmt.Errorf("-kernel: %w", err)
+	}
 	cfg := assocmine.Config{
 		Algorithm: a, Threshold: o.threshold, K: o.k, R: o.r, L: o.l,
 		MinSupport: o.support, Seed: o.seed, Workers: o.workers,
-		MemoryBudget: budget,
+		MemoryBudget: budget, VerifyKernel: kernel,
 	}
 	if o.timeout > 0 {
 		ctx, cancel := context.WithTimeout(context.Background(), o.timeout)
@@ -358,6 +364,9 @@ func printStats(s assocmine.Stats) {
 	if s.BytesRead > 0 || s.ShardsStreamed > 0 || s.SpillRuns > 0 {
 		fmt.Printf("out-of-core: %s read, %d shards streamed, %d spill runs (%s)\n",
 			formatBytes(s.BytesRead), s.ShardsStreamed, s.SpillRuns, formatBytes(s.SpillBytes))
+	}
+	if s.PackedBatches > 0 {
+		fmt.Printf("packed kernel: %d popcount words in %d batches\n", s.PackedWords, s.PackedBatches)
 	}
 }
 

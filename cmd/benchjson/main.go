@@ -1,11 +1,15 @@
 // Command benchjson times each pipeline phase serial vs parallel on
 // the paper's synthetic workload and writes the results as JSON, for
-// tracking the parallel speedup across machines and revisions.
+// tracking the parallel speedup across machines and revisions. Each
+// phase also records allocations per op, so allocation regressions in
+// the hot loops show up in the same report as time regressions.
 //
 // Usage:
 //
 //	benchjson -out BENCH_pipeline.json
 //	benchjson -rows 5000 -cols 800 -workers 8
+//	benchjson -against BENCH_pipeline.json -out -    # fail on >15% regression
+//	benchjson -against BENCH_pipeline.json -update   # refresh the baseline
 package main
 
 import (
@@ -26,11 +30,21 @@ import (
 	"assocmine/internal/verify"
 )
 
+// regressionTolerance is how much slower a phase may get, relative to
+// the -against baseline, before benchjson exits nonzero. Benchmarks on
+// shared machines jitter; 15% is comfortably above that noise while
+// still catching a dropped kernel or an accidental O(n^2).
+const regressionTolerance = 1.15
+
 type phaseResult struct {
-	Phase        string  `json:"phase"`
-	SerialNsOp   int64   `json:"serial_ns_op"`
-	ParallelNsOp int64   `json:"parallel_ns_op"`
-	Speedup      float64 `json:"speedup"`
+	Phase            string  `json:"phase"`
+	SerialNsOp       int64   `json:"serial_ns_op"`
+	ParallelNsOp     int64   `json:"parallel_ns_op"`
+	Speedup          float64 `json:"speedup"`
+	SerialAllocsOp   int64   `json:"serial_allocs_op"`
+	SerialBytesOp    int64   `json:"serial_bytes_op"`
+	ParallelAllocsOp int64   `json:"parallel_allocs_op"`
+	ParallelBytesOp  int64   `json:"parallel_bytes_op"`
 }
 
 // pipelineRun is one end-to-end SimilarPairs run instrumented with a
@@ -38,6 +52,7 @@ type phaseResult struct {
 // records, keyed by the Counter* names, plus wall-clock span seconds.
 type pipelineRun struct {
 	Algorithm    string             `json:"algorithm"`
+	Kernel       string             `json:"kernel"`
 	Counters     map[string]int64   `json:"counters"`
 	PhaseSeconds map[string]float64 `json:"phase_seconds"`
 }
@@ -70,17 +85,31 @@ func main() {
 		cols    = flag.Int("cols", 400, "synthetic matrix columns")
 		k       = flag.Int("k", 50, "signature size")
 		workers = flag.Int("workers", 4, "worker count for the parallel runs")
+		kernel  = flag.String("kernel", "auto", "verification kernel for the pipeline runs: auto | packed | scalar")
+		against = flag.String("against", "", "baseline report to compare phases against; >15% ns/op regression fails")
+		update  = flag.Bool("update", false, "with -against: rewrite the baseline instead of failing on regression")
 	)
 	flag.Parse()
-	if err := run(*out, *rows, *cols, *k, *workers); err != nil {
+	vk, err := assocmine.ParseKernel(*kernel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+	if err := run(*out, *rows, *cols, *k, *workers, vk, *against, *update); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func nsOp(fn func() error) (int64, error) {
+// benchMetrics is one timed loop's cost per operation.
+type benchMetrics struct {
+	nsOp, allocsOp, bytesOp int64
+}
+
+func measure(fn func() error) (benchMetrics, error) {
 	var err error
 	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if e := fn(); e != nil {
 				err = e
@@ -88,22 +117,33 @@ func nsOp(fn func() error) (int64, error) {
 			}
 		}
 	})
-	return r.NsPerOp(), err
+	return benchMetrics{nsOp: r.NsPerOp(), allocsOp: r.AllocsPerOp(), bytesOp: r.AllocedBytesPerOp()}, err
 }
 
 func phase(name string, serial, parallel func() error) (phaseResult, error) {
-	s, err := nsOp(serial)
+	s, err := measure(serial)
 	if err != nil {
 		return phaseResult{}, fmt.Errorf("%s serial: %w", name, err)
 	}
-	p, err := nsOp(parallel)
+	p, err := measure(parallel)
 	if err != nil {
 		return phaseResult{}, fmt.Errorf("%s parallel: %w", name, err)
 	}
-	return phaseResult{Phase: name, SerialNsOp: s, ParallelNsOp: p, Speedup: float64(s) / float64(p)}, nil
+	return phaseResult{
+		Phase:      name,
+		SerialNsOp: s.nsOp, ParallelNsOp: p.nsOp,
+		Speedup:        float64(s.nsOp) / float64(p.nsOp),
+		SerialAllocsOp: s.allocsOp, SerialBytesOp: s.bytesOp,
+		ParallelAllocsOp: p.allocsOp, ParallelBytesOp: p.bytesOp,
+	}, nil
 }
 
-func run(out string, rows, cols, k, workers int) error {
+func run(out string, rows, cols, k, workers int, kernel assocmine.Kernel, against string, update bool) error {
+	fmt.Fprintf(os.Stderr, "benchjson: numcpu=%d gomaxprocs=%d workers=%d rows=%d cols=%d k=%d\n",
+		runtime.NumCPU(), runtime.GOMAXPROCS(0), workers, rows, cols, k)
+	if runtime.GOMAXPROCS(0) == 1 {
+		fmt.Fprintln(os.Stderr, "benchjson: WARNING: GOMAXPROCS=1 — parallel variants run on one core, so speedup numbers below measure fan-out overhead, not parallelism")
+	}
 	m, _, err := gen.Synthetic(gen.SyntheticConfig{
 		Rows: rows, Cols: cols, PairsPerRange: 2, Seed: 7,
 	})
@@ -128,6 +168,7 @@ func run(out string, rows, cols, k, workers int) error {
 		Workers:    workers,
 		K:          k,
 	}
+	popt := func(w int) verify.PackedOptions { return verify.PackedOptions{Workers: w} }
 	specs := []struct {
 		name             string
 		serial, parallel func() error
@@ -142,6 +183,9 @@ func run(out string, rows, cols, k, workers int) error {
 			func() error { _, _, err := lsh.Candidates(sig, 5, 10); return err },
 			func() error { _, _, err := lsh.CandidatesParallel(sig, 5, 10, workers); return err }},
 		{"verify/exact",
+			func() error { _, _, err := verify.ExactPacked(m.Stream(), cand, 0.3, popt(1)); return err },
+			func() error { _, _, err := verify.ExactPacked(m.Stream(), cand, 0.3, popt(workers)); return err }},
+		{"verify/exact-scalar",
 			func() error { _, _, err := verify.Exact(m.Stream(), cand, 0.3); return err },
 			func() error { _, _, err := verify.ExactParallel(m.Stream(), cand, 0.3, workers); return err }},
 		{"verify/exact-fanout",
@@ -157,8 +201,8 @@ func run(out string, rows, cols, k, workers int) error {
 			return err
 		}
 		rep.Phases = append(rep.Phases, r)
-		fmt.Fprintf(os.Stderr, "%-24s serial %12d ns/op  parallel %12d ns/op  speedup %.2fx\n",
-			r.Phase, r.SerialNsOp, r.ParallelNsOp, r.Speedup)
+		fmt.Fprintf(os.Stderr, "%-24s serial %12d ns/op %8d B/op %6d allocs/op  parallel %12d ns/op  speedup %.2fx\n",
+			r.Phase, r.SerialNsOp, r.SerialBytesOp, r.SerialAllocsOp, r.ParallelNsOp, r.Speedup)
 	}
 	if err := streamedPasses(&rep, m, cand, k, workers); err != nil {
 		return err
@@ -168,7 +212,7 @@ func run(out string, rows, cols, k, workers int) error {
 		coll := assocmine.NewCollector()
 		_, err := assocmine.SimilarPairs(d, assocmine.Config{
 			Algorithm: algo, Threshold: 0.5, K: k, Seed: 7,
-			Workers: workers, Recorder: coll,
+			Workers: workers, Recorder: coll, VerifyKernel: kernel,
 		})
 		if err != nil {
 			return err
@@ -176,6 +220,7 @@ func run(out string, rows, cols, k, workers int) error {
 		snap := coll.Snapshot()
 		run := pipelineRun{
 			Algorithm:    algo.String(),
+			Kernel:       kernel.String(),
 			Counters:     snap.Counters,
 			PhaseSeconds: map[string]float64{},
 		}
@@ -183,14 +228,20 @@ func run(out string, rows, cols, k, workers int) error {
 			run.PhaseSeconds[name] = sp.Total.Seconds()
 		}
 		rep.Pipeline = append(rep.Pipeline, run)
-		fmt.Fprintf(os.Stderr, "pipeline %-8s candidates %d, verified %d, false positives %d\n",
-			run.Algorithm, run.Counters["candidates"], run.Counters["pairs_verified"], run.Counters["false_positives"])
+		fmt.Fprintf(os.Stderr, "pipeline %-8s candidates %d, verified %d, false positives %d, packed words %d\n",
+			run.Algorithm, run.Counters["candidates"], run.Counters["pairs_verified"],
+			run.Counters["false_positives"], run.Counters["packed_words"])
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
 	}
 	buf = append(buf, '\n')
+	if against != "" {
+		if err := compareBaseline(against, rep, buf, update); err != nil {
+			return err
+		}
+	}
 	if out == "-" {
 		_, err = os.Stdout.Write(buf)
 		return err
@@ -198,9 +249,58 @@ func run(out string, rows, cols, k, workers int) error {
 	return os.WriteFile(out, buf, 0o644)
 }
 
+// compareBaseline diffs the fresh phase timings against a committed
+// report. Any phase whose serial or parallel ns/op grew past
+// regressionTolerance fails the run — unless -update was given, in
+// which case the baseline file is rewritten with the fresh numbers.
+func compareBaseline(path string, rep report, buf []byte, update bool) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	old := make(map[string]phaseResult, len(base.Phases))
+	for _, p := range base.Phases {
+		old[p.Phase] = p
+	}
+	var regressions []string
+	for _, p := range rep.Phases {
+		b, ok := old[p.Phase]
+		if !ok {
+			continue
+		}
+		check := func(kind string, got, want int64) {
+			if want > 0 && float64(got) > float64(want)*regressionTolerance {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s %s: %d ns/op vs baseline %d (%.0f%% slower)",
+					p.Phase, kind, got, want, 100*(float64(got)/float64(want)-1)))
+			}
+		}
+		check("serial", p.SerialNsOp, b.SerialNsOp)
+		check("parallel", p.ParallelNsOp, b.ParallelNsOp)
+	}
+	if len(regressions) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no phase regressed >%.0f%% vs %s\n", (regressionTolerance-1)*100, path)
+		return nil
+	}
+	for _, r := range regressions {
+		fmt.Fprintln(os.Stderr, "benchjson: REGRESSION:", r)
+	}
+	if update {
+		fmt.Fprintf(os.Stderr, "benchjson: -update set, rewriting %s with fresh numbers\n", path)
+		return os.WriteFile(path, buf, 0o644)
+	}
+	return fmt.Errorf("%d phase(s) regressed >%.0f%% vs %s (rerun with -update to accept)",
+		len(regressions), (regressionTolerance-1)*100, path)
+}
+
 // streamedPasses times the out-of-core pipeline passes over a real
-// on-disk .arows file — serial scan, fanned-out scan, and the budgeted
-// spilling verification — reporting bytes/sec per full-file pass.
+// on-disk .arows file — serial scan, fanned-out scan, the packed
+// kernel fed straight from disk, and the budgeted spilling
+// verification — reporting bytes/sec per full-file pass.
 func streamedPasses(rep *report, m *matrix.Matrix, cand []pairs.Scored, k, workers int) error {
 	dir, err := os.MkdirTemp("", "benchjson-")
 	if err != nil {
@@ -233,20 +333,25 @@ func streamedPasses(rep *report, m *matrix.Matrix, cand []pairs.Scored, k, worke
 			func() error { _, _, err := minhash.ComputeStream(fsrc, k, 7, workers); return err }},
 		{"stream/verify",
 			func() error { _, _, err := verify.Exact(fsrc, cand, 0.3); return err }},
+		{"stream/verify-packed",
+			func() error {
+				_, _, err := verify.ExactPacked(fsrc, cand, 0.3, verify.PackedOptions{Workers: 1})
+				return err
+			}},
 		{"stream/verify-fanout",
 			func() error { _, _, err := verify.ExactParallel(fsrc, cand, 0.3, workers); return err }},
 		{"stream/verify-spill",
 			func() error { _, _, err := verify.ExactBudgeted(fsrc, cand, 0.3, budget, workers, nil); return err }},
 	}
 	for _, p := range passes {
-		ns, err := nsOp(p.fn)
+		met, err := measure(p.fn)
 		if err != nil {
 			return fmt.Errorf("%s: %w", p.name, err)
 		}
 		r := streamResult{
 			Pass:        p.name,
-			NsOp:        ns,
-			BytesPerSec: float64(info.Size()) / (float64(ns) / 1e9),
+			NsOp:        met.nsOp,
+			BytesPerSec: float64(info.Size()) / (float64(met.nsOp) / 1e9),
 		}
 		rep.Streamed = append(rep.Streamed, r)
 		fmt.Fprintf(os.Stderr, "%-26s %12d ns/pass  %8.1f MB/s\n",

@@ -1,13 +1,89 @@
-// Package bitset provides a fixed-size dense bit vector. Hamming-LSH
-// uses it to represent columns inside the density window (1/t, (t-1)/t)
-// — such columns are at least 1/t dense, so a bitmap is both smaller
-// and faster to probe than a sorted index list.
+// Package bitset provides a fixed-size dense bit vector and the raw
+// word-slice popcount kernels underneath it. Hamming-LSH uses the Set
+// type to represent columns inside the density window (1/t, (t-1)/t) —
+// such columns are at least 1/t dense, so a bitmap is both smaller and
+// faster to probe than a sorted index list — and the packed
+// verification kernel uses the word-slice functions directly over its
+// column arena.
 package bitset
 
 import (
 	"fmt"
 	"math/bits"
 )
+
+// CountWords returns the number of set bits across the words. The loop
+// is unrolled by four with the bounds check hoisted, so the body is a
+// straight run of POPCNT-class instructions.
+func CountWords(w []uint64) int {
+	total := 0
+	i := 0
+	for ; i+4 <= len(w); i += 4 {
+		x := w[i : i+4 : i+4]
+		total += bits.OnesCount64(x[0]) + bits.OnesCount64(x[1]) +
+			bits.OnesCount64(x[2]) + bits.OnesCount64(x[3])
+	}
+	for ; i < len(w); i++ {
+		total += bits.OnesCount64(w[i])
+	}
+	return total
+}
+
+// AndCountWords returns popcount(a AND b). The slices must have equal
+// length; the b bound is hoisted by reslicing to len(a).
+func AndCountWords(a, b []uint64) int {
+	b = b[:len(a)]
+	total := 0
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		x, y := a[i:i+4:i+4], b[i:i+4:i+4]
+		total += bits.OnesCount64(x[0]&y[0]) + bits.OnesCount64(x[1]&y[1]) +
+			bits.OnesCount64(x[2]&y[2]) + bits.OnesCount64(x[3]&y[3])
+	}
+	for ; i < len(a); i++ {
+		total += bits.OnesCount64(a[i] & b[i])
+	}
+	return total
+}
+
+// AndOrCounts returns popcount(a AND b) and popcount(a OR b) in one
+// fused pass — the |C_i ∩ C_j| and |C_i ∪ C_j| of two packed columns,
+// which divide directly into their exact similarity. Both counts come
+// from the same word loads, so the fused form costs barely more than
+// either count alone. The slices must have equal length.
+func AndOrCounts(a, b []uint64) (and, or int) {
+	b = b[:len(a)]
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		x, y := a[i:i+4:i+4], b[i:i+4:i+4]
+		and += bits.OnesCount64(x[0]&y[0]) + bits.OnesCount64(x[1]&y[1]) +
+			bits.OnesCount64(x[2]&y[2]) + bits.OnesCount64(x[3]&y[3])
+		or += bits.OnesCount64(x[0]|y[0]) + bits.OnesCount64(x[1]|y[1]) +
+			bits.OnesCount64(x[2]|y[2]) + bits.OnesCount64(x[3]|y[3])
+	}
+	for ; i < len(a); i++ {
+		and += bits.OnesCount64(a[i] & b[i])
+		or += bits.OnesCount64(a[i] | b[i])
+	}
+	return and, or
+}
+
+// XorCountWords returns popcount(a XOR b), the Hamming distance of two
+// packed columns. The slices must have equal length.
+func XorCountWords(a, b []uint64) int {
+	b = b[:len(a)]
+	total := 0
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		x, y := a[i:i+4:i+4], b[i:i+4:i+4]
+		total += bits.OnesCount64(x[0]^y[0]) + bits.OnesCount64(x[1]^y[1]) +
+			bits.OnesCount64(x[2]^y[2]) + bits.OnesCount64(x[3]^y[3])
+	}
+	for ; i < len(a); i++ {
+		total += bits.OnesCount64(a[i] ^ b[i])
+	}
+	return total
+}
 
 // Set is a fixed-capacity bit vector. The zero value is unusable; call
 // New.
@@ -62,11 +138,7 @@ func (s *Set) Test(i int) bool {
 
 // Count returns the number of set bits.
 func (s *Set) Count() int {
-	total := 0
-	for _, w := range s.words {
-		total += bits.OnesCount64(w)
-	}
-	return total
+	return CountWords(s.words)
 }
 
 // AndCount returns |s ∩ o| for sets of equal capacity.
@@ -74,11 +146,7 @@ func (s *Set) AndCount(o *Set) int {
 	if s.n != o.n {
 		panic("bitset: AndCount on sets of different sizes")
 	}
-	total := 0
-	for i, w := range s.words {
-		total += bits.OnesCount64(w & o.words[i])
-	}
-	return total
+	return AndCountWords(s.words, o.words)
 }
 
 // OrInPlace sets s = s ∪ o for sets of equal capacity.
@@ -96,9 +164,5 @@ func (s *Set) HammingDistance(o *Set) int {
 	if s.n != o.n {
 		panic("bitset: HammingDistance on sets of different sizes")
 	}
-	total := 0
-	for i, w := range s.words {
-		total += bits.OnesCount64(w ^ o.words[i])
-	}
-	return total
+	return XorCountWords(s.words, o.words)
 }

@@ -114,3 +114,55 @@ func TestQuickMatchesMapSet(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestWordKernels: the unrolled word-slice kernels must agree with a
+// naive per-bit reference on lengths that cover the unrolled body, the
+// remainder loop, and empty input.
+func TestWordKernels(t *testing.T) {
+	rng := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 16, 31, 64} {
+		a := make([]uint64, n)
+		b := make([]uint64, n)
+		for i := range a {
+			a[i], b[i] = next(), next()
+		}
+		wantCount, wantAnd, wantOr, wantXor := 0, 0, 0, 0
+		for i := range a {
+			for bit := 0; bit < 64; bit++ {
+				mask := uint64(1) << uint(bit)
+				av, bv := a[i]&mask != 0, b[i]&mask != 0
+				if av {
+					wantCount++
+				}
+				if av && bv {
+					wantAnd++
+				}
+				if av || bv {
+					wantOr++
+				}
+				if av != bv {
+					wantXor++
+				}
+			}
+		}
+		if got := CountWords(a); got != wantCount {
+			t.Errorf("n=%d: CountWords = %d, want %d", n, got, wantCount)
+		}
+		if got := AndCountWords(a, b); got != wantAnd {
+			t.Errorf("n=%d: AndCountWords = %d, want %d", n, got, wantAnd)
+		}
+		and, or := AndOrCounts(a, b)
+		if and != wantAnd || or != wantOr {
+			t.Errorf("n=%d: AndOrCounts = (%d,%d), want (%d,%d)", n, and, or, wantAnd, wantOr)
+		}
+		if got := XorCountWords(a, b); got != wantXor {
+			t.Errorf("n=%d: XorCountWords = %d, want %d", n, got, wantXor)
+		}
+	}
+}

@@ -131,10 +131,16 @@ func HashCountMH(sig *minhash.Signatures, cutoff float64) ([]pairs.Scored, Stats
 	var st Stats
 	counts := make([]int32, m)
 	touched := make([]int32, 0, 256)
+	// One reused scratch for the per-column signature reads (a nil dst
+	// would make Signatures.Column allocate per column), so the bucket
+	// probes below run over a contiguous slice instead of striding the
+	// hash-major value array.
+	colVals := make([]uint64, k)
 	var out []pairs.Scored
 	for i := 0; i < m; i++ {
+		sig.Column(i, colVals)
 		for l := 0; l < k; l++ {
-			v := sig.Vals[l*m+i]
+			v := colVals[l]
 			if v == minhash.Empty {
 				continue
 			}

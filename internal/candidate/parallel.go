@@ -58,6 +58,30 @@ func forEachChunk(ctx context.Context, m, workers int, fn func(chunk, lo, hi, wo
 	return numChunks
 }
 
+// chunkCapHint accumulates the pair yield of completed chunks so later
+// chunks can pre-size their output slices from the observed average
+// instead of growing from nil. Purely an allocation hint: emission
+// order and contents are untouched.
+type chunkCapHint struct {
+	emitted atomic.Int64
+	chunks  atomic.Int64
+}
+
+// hint returns a starting capacity for the next chunk's output.
+func (h *chunkCapHint) hint() int {
+	n := h.chunks.Load()
+	if n == 0 {
+		return 8
+	}
+	return int(h.emitted.Load()/n) + 8
+}
+
+// record folds one finished chunk's yield into the running average.
+func (h *chunkCapHint) record(emitted int) {
+	h.emitted.Add(int64(emitted))
+	h.chunks.Add(1)
+}
+
 func concatChunks(outs [][]pairs.Scored) []pairs.Scored {
 	n := 0
 	for _, o := range outs {
@@ -135,10 +159,11 @@ func RowSortMHParallelProgress(ctx context.Context, sig *minhash.Signatures, cut
 	outs := make([][]pairs.Scored, numChunks)
 	incs := make([]int64, workers)
 	var done atomic.Int64
+	var hint chunkCapHint
 	forEachChunk(ctx, m, workers, func(ck, lo, hi, worker int) {
 		counts := make([]int32, m)
 		touched := make([]int32, 0, 256)
-		var out []pairs.Scored
+		out := make([]pairs.Scored, 0, hint.hint())
 		for i := lo; i < hi; i++ {
 			for l := 0; l < k; l++ {
 				p := pos[l][i]
@@ -169,6 +194,7 @@ func RowSortMHParallelProgress(ctx context.Context, sig *minhash.Signatures, cut
 			touched = touched[:0]
 		}
 		outs[ck] = out
+		hint.record(len(out))
 		if tick != nil {
 			tick(done.Add(int64(hi-lo)), int64(m))
 		}
@@ -237,14 +263,17 @@ func HashCountMHParallel(sig *minhash.Signatures, cutoff float64, workers int) (
 	numChunks := (m + colChunk - 1) / colChunk
 	outs := make([][]pairs.Scored, numChunks)
 	incs := make([]int64, workers)
+	var hint chunkCapHint
 	forEachChunk(context.Background(), m, workers, func(ck, lo, hi, worker int) {
 		counts := make([]int32, m)
 		touched := make([]int32, 0, 256)
-		var out []pairs.Scored
+		colVals := make([]uint64, k) // reused per-column read, as in HashCountMH
+		out := make([]pairs.Scored, 0, hint.hint())
 		for i := lo; i < hi; i++ {
 			ii := int32(i)
+			sig.Column(i, colVals)
 			for l := 0; l < k; l++ {
-				v := sig.Vals[l*m+i]
+				v := colVals[l]
 				if v == minhash.Empty {
 					continue
 				}
@@ -271,6 +300,7 @@ func HashCountMHParallel(sig *minhash.Signatures, cutoff float64, workers int) (
 			touched = touched[:0]
 		}
 		outs[ck] = out
+		hint.record(len(out))
 	})
 
 	var st Stats
@@ -321,10 +351,11 @@ func HashCountKMHParallelProgress(ctx context.Context, s *kminhash.Sketches, opt
 	outs := make([][]pairs.Scored, numChunks)
 	incs := make([]int64, workers)
 	var done atomic.Int64
+	var hint chunkCapHint
 	forEachChunk(ctx, m, workers, func(ck, lo, hi, worker int) {
 		counts := make([]int32, m)
 		touched := make([]int32, 0, 256)
-		var out []pairs.Scored
+		out := make([]pairs.Scored, 0, hint.hint())
 		for i := lo; i < hi; i++ {
 			ii := int32(i)
 			for _, v := range s.Sigs[i] {
@@ -354,6 +385,7 @@ func HashCountKMHParallelProgress(ctx context.Context, s *kminhash.Sketches, opt
 			touched = touched[:0]
 		}
 		outs[ck] = out
+		hint.record(len(out))
 		if tick != nil {
 			tick(done.Add(int64(hi-lo)), int64(m))
 		}

@@ -33,18 +33,31 @@ type Sketches struct {
 	Updates int64
 }
 
+// newSketches returns empty Sketches for m columns whose per-column
+// heaps share one m·k backing arena: Sigs[c] starts at length 0 with
+// capacity k, so every pushMaxHeap append lands in the column's own
+// arena region and the pass costs one allocation instead of up to m
+// heap growths.
+func newSketches(m, k int) *Sketches {
+	s := &Sketches{
+		K:        k,
+		Sigs:     make([][]uint64, m),
+		ColSizes: make([]int, m),
+	}
+	backing := make([]uint64, m*k)
+	for c := range s.Sigs {
+		s.Sigs[c] = backing[c*k : c*k : (c+1)*k]
+	}
+	return s
+}
+
 // Compute scans src once and returns the bottom-k sketch of every
 // column. Deterministic in (src, k, seed).
 func Compute(src matrix.RowSource, k int, seed uint64) (*Sketches, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("kminhash: k must be positive, got %d", k)
 	}
-	m := src.NumCols()
-	s := &Sketches{
-		K:        k,
-		Sigs:     make([][]uint64, m),
-		ColSizes: make([]int, m),
-	}
+	s := newSketches(src.NumCols(), k)
 	h := hashing.NewPermHash(seed)
 	err := src.Scan(func(row int, cols []int32) error {
 		v := h.Row(row)

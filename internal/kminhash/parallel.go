@@ -23,11 +23,7 @@ func ComputeParallel(m *matrix.Matrix, k int, seed uint64, workers int) (*Sketch
 		workers = runtime.GOMAXPROCS(0)
 	}
 	cols := m.NumCols()
-	s := &Sketches{
-		K:        k,
-		Sigs:     make([][]uint64, cols),
-		ColSizes: make([]int, cols),
-	}
+	s := newSketches(cols, k)
 	h := hashing.NewPermHash(seed)
 	var wg sync.WaitGroup
 	chunk := (cols + workers - 1) / workers
@@ -49,7 +45,7 @@ func ComputeParallel(m *matrix.Matrix, k int, seed uint64, workers int) (*Sketch
 				if len(col) == 0 {
 					continue
 				}
-				var heap []uint64
+				heap := s.Sigs[c]
 				for _, r := range col {
 					v := h.Row(int(r))
 					if len(heap) < k {

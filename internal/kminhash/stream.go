@@ -35,11 +35,7 @@ func ComputeStream(src matrix.RowSource, k int, seed uint64, workers int) (*Sket
 	if workers < 1 {
 		workers = 1
 	}
-	s := &Sketches{
-		K:        k,
-		Sigs:     make([][]uint64, m),
-		ColSizes: make([]int, m),
-	}
+	s := newSketches(m, k)
 	h := hashing.NewPermHash(seed)
 	var updates atomic.Int64
 

@@ -30,6 +30,18 @@ type ConcurrentSource interface {
 	ConcurrentScan() bool
 }
 
+// ColumnLister is a RowSource with random access to individual column
+// row lists — in-memory data stored (or indexed) column-major. The
+// packed verification kernel uses it to build bit-columns for exactly
+// the candidate-referenced columns without a row scan; sources that can
+// only deliver rows sequentially must not implement it.
+type ColumnLister interface {
+	RowSource
+	// ColumnRows returns the sorted row indices of column c. The
+	// returned slice must not be modified.
+	ColumnRows(c int) []int32
+}
+
 // Stream returns a RowSource view of the matrix. The row-major
 // transpose is computed once, on first use, and cached.
 func (m *Matrix) Stream() RowSource {
@@ -45,6 +57,10 @@ func (s *rowStream) NumCols() int { return len(s.cols) }
 // and the lazy transpose is guarded by a sync.Once, so overlapping
 // Scans are safe.
 func (s *rowStream) ConcurrentScan() bool { return true }
+
+// ColumnRows implements ColumnLister from the matrix's native
+// column-major storage.
+func (s *rowStream) ColumnRows(c int) []int32 { return s.cols[c] }
 
 func (s *rowStream) Scan(fn func(row int, cols []int32) error) error {
 	m := (*Matrix)(s)

@@ -31,16 +31,24 @@ type Signatures struct {
 
 // Compute scans src once and returns k independent min-hash values per
 // column. The same (src, k, seed) always yields the same signatures.
+//
+// The fold runs over a column-major scratch — each column's k running
+// minima contiguous — so the inner k-loop sweeps one L1-resident slice
+// (foldMin) instead of scattering across the hash-major value array
+// with stride m. The scratch is transposed into the hash-major layout
+// once at the end; per-cell minima are order-independent, so the
+// blocked kernel is bit-identical to a direct scatter.
 func Compute(src matrix.RowSource, k int, seed uint64) (*Signatures, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("minhash: k must be positive, got %d", k)
 	}
 	m := src.NumCols()
 	sig := &Signatures{K: k, M: m, Vals: make([]uint64, k*m)}
-	for i := range sig.Vals {
-		sig.Vals[i] = Empty
-	}
 	hs := hashing.NewPermHashes(seed, k)
+	work := make([]uint64, k*m) // column-major: work[c*k+l]
+	for i := range work {
+		work[i] = Empty
+	}
 	rowVals := make([]uint64, k)
 	err := src.Scan(func(row int, cols []int32) error {
 		if len(cols) == 0 {
@@ -50,19 +58,48 @@ func Compute(src matrix.RowSource, k int, seed uint64) (*Signatures, error) {
 			rowVals[l] = hs[l].Row(row)
 		}
 		for _, c := range cols {
-			for l := 0; l < k; l++ {
-				p := l*m + int(c)
-				if rowVals[l] < sig.Vals[p] {
-					sig.Vals[p] = rowVals[l]
-				}
-			}
+			foldMin(work[int(c)*k:int(c)*k+k], rowVals)
 		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	for c := 0; c < m; c++ {
+		for l, v := range work[c*k : (c+1)*k] {
+			sig.Vals[l*m+c] = v
+		}
+	}
 	return sig, nil
+}
+
+// foldMin lowers each dst[l] to rowVals[l] when smaller. This is the
+// hot inner loop of the signature pass: dst is one column's contiguous
+// minima, so the sweep is a straight run over cached words, unrolled by
+// four with the bounds checks hoisted.
+func foldMin(dst, rowVals []uint64) {
+	rowVals = rowVals[:len(dst)]
+	i := 0
+	for ; i+4 <= len(dst); i += 4 {
+		d, r := dst[i:i+4:i+4], rowVals[i:i+4:i+4]
+		if r[0] < d[0] {
+			d[0] = r[0]
+		}
+		if r[1] < d[1] {
+			d[1] = r[1]
+		}
+		if r[2] < d[2] {
+			d[2] = r[2]
+		}
+		if r[3] < d[3] {
+			d[3] = r[3]
+		}
+	}
+	for ; i < len(dst); i++ {
+		if v := rowVals[i]; v < dst[i] {
+			dst[i] = v
+		}
+	}
 }
 
 // Value returns h_l(c).

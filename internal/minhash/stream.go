@@ -34,13 +34,12 @@ func ComputeStream(src matrix.RowSource, k int, seed uint64, workers int) (*Sign
 	}
 	m := src.NumCols()
 	sig := &Signatures{K: k, M: m, Vals: make([]uint64, k*m)}
-	for i := range sig.Vals {
-		sig.Vals[i] = Empty
-	}
 	hs := hashing.NewPermHashes(seed, k)
 
-	// Contiguous hash-index ranges: worker w folds rows into
-	// Vals[lLo*m : lHi*m), so writes never overlap.
+	// Contiguous hash-index ranges: worker w folds rows into a private
+	// column-major scratch (its columns' running minima contiguous, as
+	// in Compute) and transposes into Vals[lLo*m : lHi*m) once its
+	// stream drains, so writes never overlap.
 	chunk := (k + workers - 1) / workers
 	consumers := make([]func(<-chan *matrix.Shard), 0, workers)
 	for lLo := 0; lLo < k; lLo += chunk {
@@ -50,7 +49,12 @@ func ComputeStream(src matrix.RowSource, k int, seed uint64, workers int) (*Sign
 		}
 		lLo := lLo
 		consumers = append(consumers, func(ch <-chan *matrix.Shard) {
-			rowVals := make([]uint64, lHi-lLo)
+			kw := lHi - lLo
+			work := make([]uint64, m*kw) // column-major: work[c*kw+(l-lLo)]
+			for i := range work {
+				work[i] = Empty
+			}
+			rowVals := make([]uint64, kw)
 			for sh := range ch {
 				for i := 0; i < sh.Len(); i++ {
 					row, cols := sh.Row(i)
@@ -61,13 +65,13 @@ func ComputeStream(src matrix.RowSource, k int, seed uint64, workers int) (*Sign
 						rowVals[l-lLo] = hs[l].Row(int(row))
 					}
 					for _, c := range cols {
-						for l := lLo; l < lHi; l++ {
-							p := l*m + int(c)
-							if v := rowVals[l-lLo]; v < sig.Vals[p] {
-								sig.Vals[p] = v
-							}
-						}
+						foldMin(work[int(c)*kw:int(c)*kw+kw], rowVals)
 					}
+				}
+			}
+			for c := 0; c < m; c++ {
+				for j, v := range work[c*kw : (c+1)*kw] {
+					sig.Vals[(lLo+j)*m+c] = v
 				}
 			}
 		})

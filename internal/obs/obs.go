@@ -73,6 +73,12 @@ const (
 	// internal/faultfs) delivered into the run's reads — nonzero only
 	// under chaos harnesses, never in production.
 	CounterFaultsInjected = "faults_injected"
+	// CounterPackedWords counts the uint64 AND/OR word operations of the
+	// packed verification kernel and CounterPackedBatches the candidate
+	// batches its bit-column arena was rebuilt for (both absent on the
+	// scalar kernel).
+	CounterPackedWords   = "packed_words"
+	CounterPackedBatches = "packed_batches"
 )
 
 // Gauge names. Gauges record the last value set.

@@ -123,6 +123,40 @@ func TestEvaluateDeterministic(t *testing.T) {
 	}
 }
 
+// TestKernelOutcomesAgree: the packed popcount kernel is a pure
+// implementation swap for Phase 3 — every Outcome field (recall, FP
+// counts, exact similarities behind them) matches the scalar kernel on
+// every scenario and scheme.
+func TestKernelOutcomesAgree(t *testing.T) {
+	schemes := []struct {
+		name string
+		cfg  assocmine.Config
+	}{
+		{"MH", assocmine.Config{Algorithm: assocmine.MinHash, Threshold: 0.5, K: 100, Seed: 7}},
+		{"K-MH", assocmine.Config{Algorithm: assocmine.KMinHash, Threshold: 0.5, K: 100, Seed: 7}},
+		{"M-LSH", assocmine.Config{Algorithm: assocmine.MinLSH, Threshold: 0.5, K: 100, R: 5, L: 20, Seed: 7}},
+	}
+	for _, sc := range scenarios {
+		d := sc.dataset(t)
+		for _, s := range schemes {
+			cfg := s.cfg
+			cfg.VerifyKernel = assocmine.KernelScalar
+			scalar, err := Evaluate(d, cfg, 0.7)
+			if err != nil {
+				t.Fatalf("%s/%s scalar: %v", sc.name, s.name, err)
+			}
+			cfg.VerifyKernel = assocmine.KernelPacked
+			packed, err := Evaluate(d, cfg, 0.7)
+			if err != nil {
+				t.Fatalf("%s/%s packed: %v", sc.name, s.name, err)
+			}
+			if scalar != packed {
+				t.Errorf("%s/%s: scalar %+v != packed %+v", sc.name, s.name, scalar, packed)
+			}
+		}
+	}
+}
+
 // TestSerialParallelOutcomesAgree: parallel evaluation is the same
 // experiment — every Outcome field matches the serial run.
 func TestSerialParallelOutcomesAgree(t *testing.T) {

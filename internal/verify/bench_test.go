@@ -56,6 +56,49 @@ func BenchmarkExactParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkExactPacked times the word-packed popcount kernel on the
+// same planted 2000x400 workload, serial and sharded, plus a budgeted
+// run that forces multi-batch packing.
+func BenchmarkExactPacked(b *testing.B) {
+	rng := hashing.NewSplitMix64(1)
+	m := randomMatrix(rng, 2000, 400, 0.05)
+	var cand []pairs.Scored
+	for i := int32(0); i < 400; i++ {
+		for j := i + 1; j < 400; j += 5 {
+			cand = append(cand, pairs.Scored{Pair: pairs.Make(i, j)})
+		}
+	}
+	words := int64((m.NumRows() + 63) / 64)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := ExactPacked(m.Stream(), cand, 0.3, PackedOptions{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("fanout/workers=%d", workers), func(b *testing.B) {
+			src := streamOnly{m.Stream()}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := ExactPacked(src, cand, 0.3, PackedOptions{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("batched/cols=64", func(b *testing.B) {
+		opt := PackedOptions{Budget: Budget{Bytes: 64 * words * 8, Dir: b.TempDir()}, Workers: 1}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := ExactPacked(m.Stream(), cand, 0.3, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 func BenchmarkAllPairs(b *testing.B) {
 	rng := hashing.NewSplitMix64(1)
 	m := randomMatrix(rng, 5000, 300, 0.02)

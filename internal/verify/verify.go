@@ -30,6 +30,12 @@ type Stats struct {
 	// (both 0 when everything stayed resident).
 	SpillRuns  int64
 	SpillBytes int64
+
+	// PackedWords counts the uint64 AND/OR word operations of the packed
+	// popcount kernel and PackedBatches the candidate batches its
+	// bit-column arena was rebuilt for (both 0 on the scalar paths).
+	PackedWords   int64
+	PackedBatches int64
 }
 
 // exactScratch holds the per-candidate counters and the per-column

@@ -69,6 +69,8 @@ const (
 	CounterSpillBytes       = obs.CounterSpillBytes
 	CounterIORetries        = obs.CounterIORetries
 	CounterFaultsInjected   = obs.CounterFaultsInjected
+	CounterPackedWords      = obs.CounterPackedWords
+	CounterPackedBatches    = obs.CounterPackedBatches
 
 	GaugeSignatureWorkers = obs.GaugeSignatureWorkers
 	GaugeCandidateWorkers = obs.GaugeCandidateWorkers

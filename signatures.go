@@ -147,10 +147,24 @@ func SimilarPairsWithSignatures(d *Dataset, s *Signatures, cfg Config) (*Result,
 	if cfg.Context != nil {
 		vsrc = matrix.WithContext(cfg.Context, vsrc)
 	}
-	if tick != nil {
-		vsrc = &matrix.ProgressSource{Src: vsrc, Tick: tick}
+	var verified []pairs.Scored
+	var vst verify.Stats
+	var err error
+	if cfg.VerifyKernel == KernelPacked ||
+		(cfg.VerifyKernel == KernelAuto && verify.AutoPack(d.NumRows(), d.NumCols(), cand, 0)) {
+		// The packed pass ticks candidate pairs itself, so vsrc keeps
+		// its row-granularity wrapper off.
+		verified, vst, err = verify.ExactPacked(vsrc, cand, cfg.Threshold, verify.PackedOptions{
+			Workers: cfg.Workers,
+			Context: cfg.Context,
+			Tick:    tick,
+		})
+	} else {
+		if tick != nil {
+			vsrc = &matrix.ProgressSource{Src: vsrc, Tick: tick}
+		}
+		verified, vst, err = verify.ExactParallel(vsrc, cand, cfg.Threshold, cfg.Workers)
 	}
-	verified, vst, err := verify.ExactParallel(vsrc, cand, cfg.Threshold, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -158,6 +172,8 @@ func SimilarPairsWithSignatures(d *Dataset, s *Signatures, cfg Config) (*Result,
 	st.VerifyWorkers = cfg.Workers
 	rec.SetGauge(obs.GaugeVerifyWorkers, int64(cfg.Workers))
 	rec.Add(obs.CounterVerifyTouches, vst.Touches)
+	addNonzero(rec, obs.CounterPackedWords, vst.PackedWords)
+	addNonzero(rec, obs.CounterPackedBatches, vst.PackedBatches)
 	prog.finish(PhaseVerify)
 	st.Verified = len(verified)
 	st.FalsePositives = st.Candidates - st.Verified

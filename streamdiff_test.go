@@ -86,40 +86,76 @@ func TestStreamedPipelineMatchesInMemory(t *testing.T) {
 			fd := saveDataset(t, d, ext)
 			for _, a := range algos {
 				for _, workers := range []int{1, 4} {
-					name := fmt.Sprintf("fixture%d%s/%s/workers=%d", fi, ext, a.name, workers)
-					t.Run(name, func(t *testing.T) {
-						cfg := a.cfg
-						cfg.Workers = workers
-						mem, err := SimilarPairs(d, cfg)
-						if err != nil {
-							t.Fatalf("in-memory: %v", err)
-						}
-						stream, err := fd.SimilarPairs(cfg)
-						if err != nil {
-							t.Fatalf("streamed: %v", err)
-						}
-						if len(stream.Pairs) != len(mem.Pairs) {
-							t.Fatalf("%d pairs streamed, %d in memory", len(stream.Pairs), len(mem.Pairs))
-						}
-						for i := range mem.Pairs {
-							if stream.Pairs[i] != mem.Pairs[i] {
-								t.Fatalf("pair %d: %+v streamed, %+v in memory", i, stream.Pairs[i], mem.Pairs[i])
+					// The scalar run doubles as the cross-kernel reference:
+					// the packed kernel must mine exactly its pairs with
+					// exactly its Touches.
+					var scalarPairs []Pair
+					var scalarTouches int64
+					for _, kernel := range []Kernel{KernelScalar, KernelPacked} {
+						name := fmt.Sprintf("fixture%d%s/%s/workers=%d/%v", fi, ext, a.name, workers, kernel)
+						t.Run(name, func(t *testing.T) {
+							cfg := a.cfg
+							cfg.Workers = workers
+							cfg.VerifyKernel = kernel
+							mem, err := SimilarPairs(d, cfg)
+							if err != nil {
+								t.Fatalf("in-memory: %v", err)
 							}
-						}
-						comparePairSections(t, stream.Stats, mem.Stats)
-						if stream.Stats.BytesRead <= 0 {
-							t.Errorf("streamed run read %d bytes", stream.Stats.BytesRead)
-						}
-						if mem.Stats.BytesRead != 0 {
-							t.Errorf("in-memory run reported %d bytes read", mem.Stats.BytesRead)
-						}
-						if workers > 1 && stream.Stats.ShardsStreamed <= 0 {
-							t.Errorf("parallel streamed run broadcast %d shards", stream.Stats.ShardsStreamed)
-						}
-						if stream.Stats.SpillRuns != 0 || stream.Stats.SpillBytes != 0 {
-							t.Errorf("unbudgeted run spilled: %+v", stream.Stats)
-						}
-					})
+							stream, err := fd.SimilarPairs(cfg)
+							if err != nil {
+								t.Fatalf("streamed: %v", err)
+							}
+							if len(stream.Pairs) != len(mem.Pairs) {
+								t.Fatalf("%d pairs streamed, %d in memory", len(stream.Pairs), len(mem.Pairs))
+							}
+							for i := range mem.Pairs {
+								if stream.Pairs[i] != mem.Pairs[i] {
+									t.Fatalf("pair %d: %+v streamed, %+v in memory", i, stream.Pairs[i], mem.Pairs[i])
+								}
+							}
+							comparePairSections(t, stream.Stats, mem.Stats)
+							if stream.Stats.BytesRead <= 0 {
+								t.Errorf("streamed run read %d bytes", stream.Stats.BytesRead)
+							}
+							if mem.Stats.BytesRead != 0 {
+								t.Errorf("in-memory run reported %d bytes read", mem.Stats.BytesRead)
+							}
+							if workers > 1 && stream.Stats.ShardsStreamed <= 0 {
+								t.Errorf("parallel streamed run broadcast %d shards", stream.Stats.ShardsStreamed)
+							}
+							if stream.Stats.SpillRuns != 0 || stream.Stats.SpillBytes != 0 {
+								t.Errorf("unbudgeted run spilled: %+v", stream.Stats)
+							}
+							switch kernel {
+							case KernelScalar:
+								if stream.Stats.PackedBatches != 0 || mem.Stats.PackedBatches != 0 {
+									t.Errorf("scalar kernel reported packed batches: stream %d, mem %d",
+										stream.Stats.PackedBatches, mem.Stats.PackedBatches)
+								}
+								scalarPairs = append([]Pair(nil), mem.Pairs...)
+								scalarTouches = mem.Stats.VerifyTouches
+							case KernelPacked:
+								if mem.Stats.Candidates > 0 && (stream.Stats.PackedBatches == 0 || mem.Stats.PackedBatches == 0) {
+									t.Errorf("packed kernel reported no batches: stream %d, mem %d",
+										stream.Stats.PackedBatches, mem.Stats.PackedBatches)
+								}
+								if scalarPairs == nil {
+									t.Skip("scalar reference unavailable")
+								}
+								if len(mem.Pairs) != len(scalarPairs) {
+									t.Fatalf("packed mined %d pairs, scalar %d", len(mem.Pairs), len(scalarPairs))
+								}
+								for i := range scalarPairs {
+									if mem.Pairs[i] != scalarPairs[i] {
+										t.Fatalf("pair %d: %+v packed, %+v scalar", i, mem.Pairs[i], scalarPairs[i])
+									}
+								}
+								if mem.Stats.VerifyTouches != scalarTouches {
+									t.Errorf("packed VerifyTouches = %d, scalar %d", mem.Stats.VerifyTouches, scalarTouches)
+								}
+							}
+						})
+					}
 				}
 			}
 		}
@@ -159,6 +195,11 @@ func TestStreamedMemoryBudget(t *testing.T) {
 			}
 			if stream.Stats.SpillRuns <= 0 || stream.Stats.SpillBytes <= 0 {
 				t.Fatalf("budget %d did not spill: %+v", cfg.MemoryBudget, stream.Stats)
+			}
+			// The candidate bitmaps exceed this budget, so Auto must keep
+			// the spilling scalar path rather than batch a packed arena.
+			if stream.Stats.PackedBatches != 0 {
+				t.Errorf("Auto packed an over-budget arena: %+v", stream.Stats)
 			}
 			if len(stream.Pairs) != len(mem.Pairs) {
 				t.Fatalf("%d pairs budgeted, %d unbudgeted", len(stream.Pairs), len(mem.Pairs))
