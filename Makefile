@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check statcheck streamcheck chaoscheck packedcheck race race-all vet fmt bench bench-json benchdiff experiments experiments-full fuzz clean
+.PHONY: all build test check statcheck streamcheck chaoscheck packedcheck compresscheck race race-all vet fmt bench bench-json benchdiff experiments experiments-full fuzz clean
 
 all: build vet test
 
@@ -12,7 +12,7 @@ build:
 test:
 	$(GO) test ./...
 
-check: build vet test race statcheck streamcheck chaoscheck packedcheck
+check: build vet test race statcheck streamcheck chaoscheck packedcheck compresscheck
 
 # The statistical-accuracy suite (recall / false-positive-rate bounds
 # on seeded synthetic matrices; deterministic).
@@ -44,6 +44,16 @@ chaoscheck:
 packedcheck:
 	$(GO) test -race -run 'TestPacked|TestAutoPack' ./internal/verify
 	$(GO) test -race -run 'TestKernelOutcomesAgree' ./internal/statstest
+
+# The compressed-codec differential suite under the race detector:
+# mining ".carows" compressed matrices bit-identical to ".arows" across
+# schemes, worker counts, and memory budgets (including under injected
+# transient IO faults), compressed signature/sketch files round-tripping
+# exactly, and the spill codec matching raw runs byte-for-result.
+compresscheck:
+	$(GO) test -race -run 'TestCompressed|TestSignaturesCompressed' .
+	$(GO) test -race ./internal/bitpack
+	$(GO) test -race -run 'TestCompressed|TestFileSourceCompressed|TestSaveLoadFileCompressed|TestFillColumnBits|TestSpillCodecs|TestSpillCompressed|TestSpillRun|TestWriteCompressed|TestReadCompressed|TestSketchCodec|TestReadSketches' ./internal/matrix ./internal/verify ./internal/minhash ./internal/kminhash
 
 # Race-detect the packages with concurrent code paths (fast); race-all
 # covers the whole tree.
@@ -89,7 +99,10 @@ fuzz:
 	$(GO) test ./internal/matrix -fuzz FuzzReadText -fuzztime 10s
 	$(GO) test ./internal/matrix -fuzz FuzzReadBinary -fuzztime 10s
 	$(GO) test ./internal/matrix -fuzz FuzzReadNamedTransactions -fuzztime 10s
+	$(GO) test ./internal/matrix -fuzz FuzzCArowsRoundTrip -fuzztime 10s
 	$(GO) test ./internal/minhash -fuzz FuzzReadSignatures -fuzztime 10s
+	$(GO) test ./internal/minhash -fuzz FuzzCompressedSignatures -fuzztime 10s
+	$(GO) test ./internal/kminhash -fuzz FuzzReadSketches -fuzztime 10s
 	$(GO) test . -fuzz FuzzOpenFileDataset -fuzztime 10s
 	$(GO) test ./internal/faultfs -fuzz FuzzPlanRowBinary -fuzztime 10s
 	$(GO) test ./internal/verify -fuzz FuzzPackedVsScalar -fuzztime 10s

@@ -300,6 +300,17 @@ type Stats struct {
 	// stayed within Config.MemoryBudget, or no budget was set).
 	SpillRuns  int64
 	SpillBytes int64
+	// CompressedBytesRead is the share of BytesRead delivered by
+	// compressed-format sources (".carows" files), and
+	// SpillBytesCompressed the share of SpillBytes written under the
+	// compressed spill codec (both 0 when nothing compressed was moved).
+	// CodecRatio is the run's overall compression ratio — the bytes the
+	// equivalent uncompressed encodings would have moved, divided by the
+	// compressed bytes actually moved — or 0 when no compressed bytes
+	// moved at all.
+	CompressedBytesRead  int64
+	SpillBytesCompressed int64
+	CodecRatio           float64
 	// IORetries counts transient IO errors the file-backed source
 	// retried away during this run, and FaultsInjected the faults a
 	// fault-injecting FS delivered into its reads (both 0 for healthy
@@ -373,6 +384,15 @@ func similarPairs(rawSrc matrix.RowSource, materialize func() (*matrix.Matrix, e
 	if faultSrc != nil {
 		faultsAtStart = faultSrc.FaultsInjected()
 	}
+	codecSrc, _ := probe.(matrix.CodecCounter)
+	var compressedAtStart, logicalAtStart int64
+	if codecSrc != nil {
+		compressedAtStart = codecSrc.CompressedBytesRead()
+		logicalAtStart = codecSrc.LogicalBytesRead()
+	}
+	// Raw-equivalent spill volume, priced by the budgeted pass; feeds
+	// the codec ratio alongside the file-read deltas.
+	var spillRawBytes, spillCompressedBytes int64
 	finish := func(res *Result) *Result {
 		res.Stats.DataPasses = counting.Passes
 		res.Stats.RowsScanned = counting.Rows
@@ -391,6 +411,16 @@ func similarPairs(rawSrc matrix.RowSource, materialize func() (*matrix.Matrix, e
 		}
 		if faultSrc != nil {
 			addNonzero(rec, obs.CounterFaultsInjected, faultSrc.FaultsInjected()-faultsAtStart)
+		}
+		var compressedRead, logicalRead int64
+		if codecSrc != nil {
+			compressedRead = codecSrc.CompressedBytesRead() - compressedAtStart
+			logicalRead = codecSrc.LogicalBytesRead() - logicalAtStart
+			addNonzero(rec, obs.CounterCompressedBytesRead, compressedRead)
+		}
+		if moved := compressedRead + spillCompressedBytes; moved > 0 {
+			ratio := float64(logicalRead+spillRawBytes) / float64(moved)
+			rec.SetGauge(obs.GaugeCodecRatio, int64(ratio*100))
 		}
 		res.Stats.fillFrom(inner)
 		return res
@@ -634,6 +664,8 @@ func similarPairs(rawSrc matrix.RowSource, materialize func() (*matrix.Matrix, e
 	addNonzero(rec, obs.CounterShards, vst.Shards)
 	addNonzero(rec, obs.CounterSpillRuns, vst.SpillRuns)
 	addNonzero(rec, obs.CounterSpillBytes, vst.SpillBytes)
+	addNonzero(rec, obs.CounterSpillBytesCompressed, vst.SpillBytesCompressed)
+	spillRawBytes, spillCompressedBytes = vst.SpillBytesRaw, vst.SpillBytesCompressed
 	addNonzero(rec, obs.CounterPackedWords, vst.PackedWords)
 	addNonzero(rec, obs.CounterPackedBatches, vst.PackedBatches)
 	prog.finish(PhaseVerify)
@@ -676,6 +708,9 @@ func (s *Stats) fillFrom(c *Collector) {
 	s.ShardsStreamed = c.Counter(CounterShards)
 	s.SpillRuns = c.Counter(CounterSpillRuns)
 	s.SpillBytes = c.Counter(CounterSpillBytes)
+	s.CompressedBytesRead = c.Counter(CounterCompressedBytesRead)
+	s.SpillBytesCompressed = c.Counter(CounterSpillBytesCompressed)
+	s.CodecRatio = float64(c.Gauge(GaugeCodecRatio)) / 100
 	s.IORetries = c.Counter(CounterIORetries)
 	s.FaultsInjected = c.Counter(CounterFaultsInjected)
 	s.PackedWords = c.Counter(CounterPackedWords)

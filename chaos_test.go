@@ -41,9 +41,12 @@ func saveChaosFile(t *testing.T, d *Dataset, ext string) string {
 	t.Helper()
 	path := filepath.Join(t.TempDir(), "data"+ext)
 	var err error
-	if ext == ".arows" {
+	switch ext {
+	case ".arows":
 		err = d.SaveRowBinary(path)
-	} else {
+	case ".carows":
+		err = d.SaveRowCompressed(path)
+	default:
 		err = d.Save(path)
 	}
 	if err != nil {

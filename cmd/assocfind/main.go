@@ -71,7 +71,7 @@ func main() {
 	flag.BoolVar(&o.doRules, "rules", false, "mine high-confidence rules instead of similar pairs")
 	flag.Float64Var(&o.conf, "confidence", 0.9, "rules only: confidence threshold")
 	flag.BoolVar(&o.stats, "stats", true, "print phase statistics")
-	flag.BoolVar(&o.stream, "stream", false, "mine directly from disk (one file pass per phase; .txt or .arows)")
+	flag.BoolVar(&o.stream, "stream", false, "mine directly from disk (one file pass per phase; .txt, .arows or compressed .carows)")
 	flag.StringVar(&o.memBudget, "mem-budget", "", "verification counter-table budget, e.g. 64K, 16M, 1G (bytes if no suffix); empty or 0 = unlimited. When the candidate counters exceed it, the exact pass spills sorted runs to disk")
 	flag.StringVar(&o.kernel, "kernel", "auto", "verification kernel: auto | packed | scalar. auto packs candidate columns into popcount bitmaps when they fit in memory; results are bit-identical either way")
 	flag.DurationVar(&o.timeout, "timeout", 0, "abort the mining run after this long, e.g. 30s, 5m; 0 = no limit. Aborted runs clean up their spill files and exit non-zero")
@@ -364,6 +364,10 @@ func printStats(s assocmine.Stats) {
 	if s.BytesRead > 0 || s.ShardsStreamed > 0 || s.SpillRuns > 0 {
 		fmt.Printf("out-of-core: %s read, %d shards streamed, %d spill runs (%s)\n",
 			formatBytes(s.BytesRead), s.ShardsStreamed, s.SpillRuns, formatBytes(s.SpillBytes))
+	}
+	if s.CompressedBytesRead > 0 || s.SpillBytesCompressed > 0 {
+		fmt.Printf("codec: %s compressed read, %s compressed spill, ratio %.2fx\n",
+			formatBytes(s.CompressedBytesRead), formatBytes(s.SpillBytesCompressed), s.CodecRatio)
 	}
 	if s.PackedBatches > 0 {
 		fmt.Printf("packed kernel: %d popcount words in %d batches\n", s.PackedWords, s.PackedBatches)

@@ -45,6 +45,11 @@ type phaseResult struct {
 	SerialBytesOp    int64   `json:"serial_bytes_op"`
 	ParallelAllocsOp int64   `json:"parallel_allocs_op"`
 	ParallelBytesOp  int64   `json:"parallel_bytes_op"`
+	// ParallelSkipped marks phases whose parallel variant was not timed
+	// because GOMAXPROCS=1: on one core the numbers would measure
+	// fan-out overhead, not parallelism, and would poison any baseline
+	// they were compared against.
+	ParallelSkipped bool `json:"parallel_skipped,omitempty"`
 }
 
 // pipelineRun is one end-to-end SimilarPairs run instrumented with a
@@ -66,16 +71,23 @@ type streamResult struct {
 }
 
 type report struct {
-	Rows       int            `json:"rows"`
-	Cols       int            `json:"cols"`
-	NumCPU     int            `json:"numcpu"`
-	GoMaxProcs int            `json:"gomaxprocs"`
-	Workers    int            `json:"workers"`
-	K          int            `json:"k"`
-	FileBytes  int64          `json:"file_bytes"`
-	Phases     []phaseResult  `json:"phases"`
-	Streamed   []streamResult `json:"streamed"`
-	Pipeline   []pipelineRun  `json:"pipeline"`
+	Rows       int   `json:"rows"`
+	Cols       int   `json:"cols"`
+	NumCPU     int   `json:"numcpu"`
+	GoMaxProcs int   `json:"gomaxprocs"`
+	Workers    int   `json:"workers"`
+	K          int   `json:"k"`
+	FileBytes  int64 `json:"file_bytes"`
+	// CompressedFileBytes is the size of the same dataset in the
+	// ".carows" compressed format; SpillBytesRaw and
+	// SpillBytesCompressed are the spill volume of one budgeted
+	// verification pass under each spill codec.
+	CompressedFileBytes  int64          `json:"compressed_file_bytes,omitempty"`
+	SpillBytesRaw        int64          `json:"spill_bytes_raw,omitempty"`
+	SpillBytesCompressed int64          `json:"spill_bytes_compressed,omitempty"`
+	Phases               []phaseResult  `json:"phases"`
+	Streamed             []streamResult `json:"streamed"`
+	Pipeline             []pipelineRun  `json:"pipeline"`
 }
 
 func main() {
@@ -125,6 +137,13 @@ func phase(name string, serial, parallel func() error) (phaseResult, error) {
 	if err != nil {
 		return phaseResult{}, fmt.Errorf("%s serial: %w", name, err)
 	}
+	if runtime.GOMAXPROCS(0) == 1 {
+		return phaseResult{
+			Phase:      name,
+			SerialNsOp: s.nsOp, SerialAllocsOp: s.allocsOp, SerialBytesOp: s.bytesOp,
+			ParallelSkipped: true,
+		}, nil
+	}
 	p, err := measure(parallel)
 	if err != nil {
 		return phaseResult{}, fmt.Errorf("%s parallel: %w", name, err)
@@ -142,7 +161,7 @@ func run(out string, rows, cols, k, workers int, kernel assocmine.Kernel, agains
 	fmt.Fprintf(os.Stderr, "benchjson: numcpu=%d gomaxprocs=%d workers=%d rows=%d cols=%d k=%d\n",
 		runtime.NumCPU(), runtime.GOMAXPROCS(0), workers, rows, cols, k)
 	if runtime.GOMAXPROCS(0) == 1 {
-		fmt.Fprintln(os.Stderr, "benchjson: WARNING: GOMAXPROCS=1 — parallel variants run on one core, so speedup numbers below measure fan-out overhead, not parallelism")
+		fmt.Fprintln(os.Stderr, "benchjson: GOMAXPROCS=1 — parallel phase variants are skipped and marked parallel_skipped (on one core they would measure fan-out overhead, not parallelism)")
 	}
 	m, _, err := gen.Synthetic(gen.SyntheticConfig{
 		Rows: rows, Cols: cols, PairsPerRange: 2, Seed: 7,
@@ -201,8 +220,13 @@ func run(out string, rows, cols, k, workers int, kernel assocmine.Kernel, agains
 			return err
 		}
 		rep.Phases = append(rep.Phases, r)
-		fmt.Fprintf(os.Stderr, "%-24s serial %12d ns/op %8d B/op %6d allocs/op  parallel %12d ns/op  speedup %.2fx\n",
-			r.Phase, r.SerialNsOp, r.SerialBytesOp, r.SerialAllocsOp, r.ParallelNsOp, r.Speedup)
+		if r.ParallelSkipped {
+			fmt.Fprintf(os.Stderr, "%-24s serial %12d ns/op %8d B/op %6d allocs/op  parallel skipped (GOMAXPROCS=1)\n",
+				r.Phase, r.SerialNsOp, r.SerialBytesOp, r.SerialAllocsOp)
+		} else {
+			fmt.Fprintf(os.Stderr, "%-24s serial %12d ns/op %8d B/op %6d allocs/op  parallel %12d ns/op  speedup %.2fx\n",
+				r.Phase, r.SerialNsOp, r.SerialBytesOp, r.SerialAllocsOp, r.ParallelNsOp, r.Speedup)
+		}
 	}
 	if err := streamedPasses(&rep, m, cand, k, workers); err != nil {
 		return err
@@ -267,20 +291,33 @@ func compareBaseline(path string, rep report, buf []byte, update bool) error {
 		old[p.Phase] = p
 	}
 	var regressions []string
+	check := func(label string, got, want int64) {
+		if want > 0 && got > 0 && float64(got) > float64(want)*regressionTolerance {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %d ns/op vs baseline %d (%.0f%% slower)",
+				label, got, want, 100*(float64(got)/float64(want)-1)))
+		}
+	}
 	for _, p := range rep.Phases {
 		b, ok := old[p.Phase]
 		if !ok {
 			continue
 		}
-		check := func(kind string, got, want int64) {
-			if want > 0 && float64(got) > float64(want)*regressionTolerance {
-				regressions = append(regressions, fmt.Sprintf(
-					"%s %s: %d ns/op vs baseline %d (%.0f%% slower)",
-					p.Phase, kind, got, want, 100*(float64(got)/float64(want)-1)))
-			}
+		check(p.Phase+" serial", p.SerialNsOp, b.SerialNsOp)
+		// A parallel variant skipped on either side (GOMAXPROCS=1) has
+		// no meaningful number to compare.
+		if !p.ParallelSkipped && !b.ParallelSkipped {
+			check(p.Phase+" parallel", p.ParallelNsOp, b.ParallelNsOp)
 		}
-		check("serial", p.SerialNsOp, b.SerialNsOp)
-		check("parallel", p.ParallelNsOp, b.ParallelNsOp)
+	}
+	oldStream := make(map[string]streamResult, len(base.Streamed))
+	for _, s := range base.Streamed {
+		oldStream[s.Pass] = s
+	}
+	for _, s := range rep.Streamed {
+		if b, ok := oldStream[s.Pass]; ok {
+			check(s.Pass, s.NsOp, b.NsOp)
+		}
 	}
 	if len(regressions) == 0 {
 		fmt.Fprintf(os.Stderr, "benchjson: no phase regressed >%.0f%% vs %s\n", (regressionTolerance-1)*100, path)
@@ -297,10 +334,15 @@ func compareBaseline(path string, rep report, buf []byte, update bool) error {
 		len(regressions), (regressionTolerance-1)*100, path)
 }
 
-// streamedPasses times the out-of-core pipeline passes over a real
-// on-disk .arows file — serial scan, fanned-out scan, the packed
-// kernel fed straight from disk, and the budgeted spilling
-// verification — reporting bytes/sec per full-file pass.
+// streamedPasses times the out-of-core pipeline passes over real
+// on-disk files — serial scan, fanned-out scan, the packed kernel fed
+// straight from disk, and the budgeted spilling verification —
+// reporting bytes/sec per full-file pass. Every pass runs twice, once
+// over the raw ".arows" file (stream/) and once over the compressed
+// ".carows" file (cstream/), so the codec's decode cost and byte
+// savings land in the same report; the spill pass additionally runs
+// with the raw spill codec (stream/verify-spill-raw) to price the
+// compressed spill runs.
 func streamedPasses(rep *report, m *matrix.Matrix, cand []pairs.Scored, k, workers int) error {
 	dir, err := os.MkdirTemp("", "benchjson-")
 	if err != nil {
@@ -320,28 +362,59 @@ func streamedPasses(rep *report, m *matrix.Matrix, cand []pairs.Scored, k, worke
 	if err != nil {
 		return err
 	}
+	cpath := dir + "/bench.carows"
+	if err := matrix.SaveRowCompressed(cpath, m.Stream()); err != nil {
+		return err
+	}
+	cinfo, err := os.Stat(cpath)
+	if err != nil {
+		return err
+	}
+	rep.CompressedFileBytes = cinfo.Size()
+	csrc, err := matrix.OpenFileSource(cpath)
+	if err != nil {
+		return err
+	}
 	// A budget an order of magnitude below the dense counter table, so
 	// the spill machinery genuinely engages.
 	budget := verify.Budget{Bytes: int64(len(cand)) * 12 / 10, Dir: dir}
+	budgetRaw := budget
+	budgetRaw.Codec = verify.SpillRaw
 	passes := []struct {
 		name string
+		size int64
 		fn   func() error
 	}{
-		{"stream/signatures",
+		{"stream/signatures", info.Size(),
 			func() error { _, err := minhash.Compute(fsrc, k, 7); return err }},
-		{"stream/signatures-fanout",
+		{"stream/signatures-fanout", info.Size(),
 			func() error { _, _, err := minhash.ComputeStream(fsrc, k, 7, workers); return err }},
-		{"stream/verify",
+		{"stream/verify", info.Size(),
 			func() error { _, _, err := verify.Exact(fsrc, cand, 0.3); return err }},
-		{"stream/verify-packed",
+		{"stream/verify-packed", info.Size(),
 			func() error {
 				_, _, err := verify.ExactPacked(fsrc, cand, 0.3, verify.PackedOptions{Workers: 1})
 				return err
 			}},
-		{"stream/verify-fanout",
+		{"stream/verify-fanout", info.Size(),
 			func() error { _, _, err := verify.ExactParallel(fsrc, cand, 0.3, workers); return err }},
-		{"stream/verify-spill",
+		{"stream/verify-spill", info.Size(),
 			func() error { _, _, err := verify.ExactBudgeted(fsrc, cand, 0.3, budget, workers, nil); return err }},
+		{"stream/verify-spill-raw", info.Size(),
+			func() error { _, _, err := verify.ExactBudgeted(fsrc, cand, 0.3, budgetRaw, workers, nil); return err }},
+		{"cstream/signatures", cinfo.Size(),
+			func() error { _, err := minhash.Compute(csrc, k, 7); return err }},
+		{"cstream/signatures-fanout", cinfo.Size(),
+			func() error { _, _, err := minhash.ComputeStream(csrc, k, 7, workers); return err }},
+		{"cstream/verify", cinfo.Size(),
+			func() error { _, _, err := verify.Exact(csrc, cand, 0.3); return err }},
+		{"cstream/verify-packed", cinfo.Size(),
+			func() error {
+				_, _, err := verify.ExactPacked(csrc, cand, 0.3, verify.PackedOptions{Workers: 1})
+				return err
+			}},
+		{"cstream/verify-spill", cinfo.Size(),
+			func() error { _, _, err := verify.ExactBudgeted(csrc, cand, 0.3, budget, workers, nil); return err }},
 	}
 	for _, p := range passes {
 		met, err := measure(p.fn)
@@ -351,12 +424,23 @@ func streamedPasses(rep *report, m *matrix.Matrix, cand []pairs.Scored, k, worke
 		r := streamResult{
 			Pass:        p.name,
 			NsOp:        met.nsOp,
-			BytesPerSec: float64(info.Size()) / (float64(met.nsOp) / 1e9),
+			BytesPerSec: float64(p.size) / (float64(met.nsOp) / 1e9),
 		}
 		rep.Streamed = append(rep.Streamed, r)
 		fmt.Fprintf(os.Stderr, "%-26s %12d ns/pass  %8.1f MB/s\n",
 			r.Pass, r.NsOp, r.BytesPerSec/1e6)
 	}
+	// One un-timed budgeted pass prices the spill codec: the compressed
+	// run accounts both its own bytes and the raw-equivalent volume.
+	_, vst, err := verify.ExactBudgeted(fsrc, cand, 0.3, budget, workers, nil)
+	if err != nil {
+		return err
+	}
+	rep.SpillBytesRaw = vst.SpillBytesRaw
+	rep.SpillBytesCompressed = vst.SpillBytesCompressed
+	fmt.Fprintf(os.Stderr, "codec: file %d -> %d bytes (%.2fx), spill %d -> %d bytes (%.2fx)\n",
+		rep.FileBytes, rep.CompressedFileBytes, float64(rep.FileBytes)/float64(rep.CompressedFileBytes),
+		rep.SpillBytesRaw, rep.SpillBytesCompressed, float64(rep.SpillBytesRaw)/float64(rep.SpillBytesCompressed))
 	return nil
 }
 

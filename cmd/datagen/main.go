@@ -24,7 +24,7 @@ func main() {
 		rows  = flag.Int("rows", 10000, "rows (baskets / clients / documents)")
 		cols  = flag.Int("cols", 1000, "columns (items / URLs / background vocabulary)")
 		seed  = flag.Uint64("seed", 1, "random seed")
-		out   = flag.String("out", "", "output path (.amx = column binary, .arows = streaming binary, else text)")
+		out   = flag.String("out", "", "output path (.amx = column binary, .arows = streaming binary, .carows = compressed streaming, else text)")
 		words = flag.String("words", "", "news only: also write the column vocabulary here")
 	)
 	flag.Parse()
@@ -88,12 +88,16 @@ func run(kind string, rows, cols int, seed uint64, out, words string) error {
 	default:
 		return fmt.Errorf("unknown kind %q (want synthetic, weblog or news)", kind)
 	}
-	if strings.HasSuffix(out, ".arows") {
-		err := data.SaveRowBinary(out)
-		if err != nil {
-			return err
-		}
-	} else if err := data.Save(out); err != nil {
+	var err error
+	switch {
+	case strings.HasSuffix(out, ".carows"):
+		err = data.SaveRowCompressed(out)
+	case strings.HasSuffix(out, ".arows"):
+		err = data.SaveRowBinary(out)
+	default:
+		err = data.Save(out)
+	}
+	if err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s (%d ones, density %.4f%%)\n", out, data.Ones(),

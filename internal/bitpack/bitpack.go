@@ -1,0 +1,225 @@
+// Package bitpack provides the bit-granular encoding layer shared by
+// the compressed on-disk codecs (the ".carows" matrix format, the
+// compressed signature and sketch files, and the compressed spill runs
+// of budgeted verification): an LSB-first bit writer/reader pair and
+// Golomb-Rice coding for small non-negative integers.
+//
+// Bits are packed LSB-first within each byte — the first bit written
+// is bit 0 of the first byte — so a value written with WriteBits(v, w)
+// occupies w consecutive bits and reads back with ReadBits(w). Rice
+// coding splits v into a quotient q = v>>k (written in unary: q one
+// bits then a zero) and the k low bits of v; for geometrically
+// distributed values with mean near 2^k it approaches the entropy,
+// while varints cost a full byte per value however small.
+package bitpack
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+)
+
+// MaxRiceK bounds the Rice parameter: 2^40 exceeds every quantity the
+// codecs delta-encode (row ids, column ids, counter values), so any
+// larger parameter in a header is corruption.
+const MaxRiceK = 40
+
+// maxUnary bounds the unary quotient a Rice decode will consume. A
+// well-formed encoder never exceeds it (writers pick k so quotients
+// stay small); a hostile stream of 1-bits must not spin the decoder.
+const maxUnary = 1 << 26
+
+// Writer packs bits LSB-first into an io.Writer. Errors are sticky:
+// the first write error is returned by every subsequent call and by
+// Flush.
+type Writer struct {
+	w   io.Writer
+	bw  io.ByteWriter // w again, when it writes bytes without a slice
+	acc uint64
+	n   uint // bits pending in acc, < 8 between calls
+	buf [1]byte
+	err error
+}
+
+// NewWriter returns a Writer emitting to w. The caller must Flush
+// before reading back or switching to byte-level writes.
+func NewWriter(w io.Writer) *Writer {
+	nw := &Writer{w: w}
+	nw.bw, _ = w.(io.ByteWriter)
+	return nw
+}
+
+// writeByte emits one packed byte, preferring the ByteWriter fast path
+// (bufio.Writer and bytes.Buffer) over a one-byte slice Write.
+func (bw *Writer) writeByte(b byte) error {
+	if bw.bw != nil {
+		return bw.bw.WriteByte(b)
+	}
+	bw.buf[0] = b
+	_, err := bw.w.Write(bw.buf[:])
+	return err
+}
+
+// WriteBits appends the width low bits of v, LSB first. width must be
+// <= 56 so the accumulator never overflows mid-call.
+func (bw *Writer) WriteBits(v uint64, width uint) {
+	if bw.err != nil {
+		return
+	}
+	if width > 56 {
+		bw.err = fmt.Errorf("bitpack: width %d out of range", width)
+		return
+	}
+	bw.acc |= (v & ((1 << width) - 1)) << bw.n
+	bw.n += width
+	for bw.n >= 8 {
+		if err := bw.writeByte(byte(bw.acc)); err != nil {
+			bw.err = err
+			return
+		}
+		bw.acc >>= 8
+		bw.n -= 8
+	}
+}
+
+// WriteRice appends v in Rice coding with parameter k: v>>k one bits,
+// a zero bit, then the k low bits of v.
+func (bw *Writer) WriteRice(v uint64, k uint) {
+	q := v >> k
+	for q >= 32 {
+		bw.WriteBits((1<<32)-1, 32)
+		q -= 32
+	}
+	// q one bits followed by the terminating zero.
+	bw.WriteBits((1<<q)-1, uint(q)+1)
+	if k > 0 {
+		bw.WriteBits(v, k)
+	}
+}
+
+// Flush pads the pending bits with zeros up to the next byte boundary
+// and writes them out, returning the first error the writer hit.
+func (bw *Writer) Flush() error {
+	if bw.err == nil && bw.n > 0 {
+		if err := bw.writeByte(byte(bw.acc)); err != nil {
+			bw.err = err
+		}
+		bw.acc, bw.n = 0, 0
+	}
+	return bw.err
+}
+
+// ByteSource is the reader side's byte supply; *bufio.Reader and the
+// offset-tracked readers of the file-backed scans implement it.
+type ByteSource interface {
+	ReadByte() (byte, error)
+}
+
+// Reader unpacks bits LSB-first from a ByteSource. Align discards the
+// remainder of the current byte, re-synchronising with byte-aligned
+// framing (row and block boundaries).
+type Reader struct {
+	r   ByteSource
+	acc uint64
+	n   uint
+}
+
+// NewReader returns a Reader consuming from r.
+func NewReader(r ByteSource) *Reader {
+	return &Reader{r: r}
+}
+
+// Reset rebinds the reader to a new source, dropping buffered bits.
+func (br *Reader) Reset(r ByteSource) {
+	br.r = r
+	br.acc, br.n = 0, 0
+}
+
+// ReadBits returns the next width bits, LSB first. width must be <= 56.
+func (br *Reader) ReadBits(width uint) (uint64, error) {
+	if width > 56 {
+		return 0, fmt.Errorf("bitpack: width %d out of range", width)
+	}
+	for br.n < width {
+		b, err := br.r.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		br.acc |= uint64(b) << br.n
+		br.n += 8
+	}
+	v := br.acc & ((1 << width) - 1)
+	br.acc >>= width
+	br.n -= width
+	return v, nil
+}
+
+// ReadRice decodes one Rice-coded value with parameter k.
+func (br *Reader) ReadRice(k uint) (uint64, error) {
+	// Scan buffered bits a word at a time: the quotient is the run of
+	// one bits up to the first zero, so count trailing ones in acc.
+	q := uint64(0)
+	for {
+		if br.n == 0 {
+			b, err := br.r.ReadByte()
+			if err != nil {
+				return 0, err
+			}
+			br.acc = uint64(b)
+			br.n = 8
+		}
+		ones := uint(bits.TrailingZeros64(^br.acc))
+		if ones < br.n {
+			q += uint64(ones)
+			br.acc >>= ones + 1
+			br.n -= ones + 1
+			break
+		}
+		q += uint64(br.n)
+		br.acc, br.n = 0, 0
+		if q > maxUnary {
+			return 0, fmt.Errorf("bitpack: unary run exceeds %d", maxUnary)
+		}
+	}
+	if k == 0 {
+		return q, nil
+	}
+	low, err := br.ReadBits(k)
+	if err != nil {
+		return 0, err
+	}
+	return q<<k | low, nil
+}
+
+// Align discards the unread bits of the current byte, so the next read
+// starts at the following byte boundary.
+func (br *Reader) Align() {
+	br.acc, br.n = 0, 0
+}
+
+// RiceCost returns the encoded size, in bits, of v under parameter k.
+func RiceCost(v uint64, k uint) uint64 {
+	return v>>k + 1 + uint64(k)
+}
+
+// BestRiceK returns the parameter in [0, MaxRiceK] minimising the
+// total Rice-coded size of vals, together with that size in bits.
+// Deterministic: the smallest optimal k wins ties.
+func BestRiceK(vals []uint64) (uint, uint64) {
+	bestK, bestBits := uint(0), uint64(0)
+	for k := uint(0); k <= MaxRiceK; k++ {
+		bits := uint64(0)
+		for _, v := range vals {
+			bits += RiceCost(v, k)
+		}
+		if k == 0 || bits < bestBits {
+			bestK, bestBits = k, bits
+		}
+		// Costs are convex in k once the unary term stops dominating;
+		// past the point where every quotient is 0 the cost only grows.
+		if bits == uint64(len(vals))*(uint64(k)+1) {
+			break
+		}
+	}
+	return bestK, bestBits
+}

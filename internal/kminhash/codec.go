@@ -1,0 +1,186 @@
+package kminhash
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/bits"
+
+	"assocmine/internal/bitpack"
+	"assocmine/internal/hashing"
+)
+
+// Sketch persistence, compressed-only: bottom-k sketches exist to be
+// small, so the on-disk form is the KMC1 functional encoding. Every
+// sketch value is h(r) for some row r under the single permutation
+// hash of the recorded seed, so each value is stored as its row id in
+// ceil(log2(n+1)) bits and the reader rebuilds the exact 64-bit values
+// by rehashing — bit-identical, at 5-6x less space at typical scales.
+//
+// Layout: "KMC1", then k, m, rows, seed and Updates as 8-byte
+// little-endian words, then per column a uvarint |C_c|, a uvarint
+// sketch length, and that many bit-packed row ids ordered as the
+// sketch is (ascending by hash value), byte-aligned per column.
+const sketchCompressedMagic = "KMC1"
+
+// WriteCompressed serialises the sketches in the KMC1 format. rows is
+// the row count n of the dataset; every sketch value must equal h(r)
+// for some row r under hashing.NewPermHash(seed), which holds for any
+// sketches Compute produced with the same (seed, rows). Cost: O(rows)
+// rehashing to invert the value mapping, paid once per save.
+func (s *Sketches) WriteCompressed(w io.Writer, seed uint64, rows int) error {
+	if rows < 0 {
+		return fmt.Errorf("kminhash: negative row count %d", rows)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(sketchCompressedMagic); err != nil {
+		return err
+	}
+	var hdr [40]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(s.K))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(s.Sigs)))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(rows))
+	binary.LittleEndian.PutUint64(hdr[24:], seed)
+	binary.LittleEndian.PutUint64(hdr[32:], uint64(s.Updates))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	h := hashing.NewPermHash(seed)
+	inv := make(map[uint64]uint64, rows)
+	for r := 0; r < rows; r++ {
+		v := h.Row(r)
+		if old, ok := inv[v]; !ok || uint64(r) < old {
+			inv[v] = uint64(r)
+		}
+	}
+	width := uint(bits.Len64(uint64(rows)))
+	var vbuf [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(vbuf[:], v)
+		_, err := bw.Write(vbuf[:n])
+		return err
+	}
+	pw := bitpack.NewWriter(bw)
+	for c, sig := range s.Sigs {
+		if err := writeUvarint(uint64(s.ColSizes[c])); err != nil {
+			return err
+		}
+		if err := writeUvarint(uint64(len(sig))); err != nil {
+			return err
+		}
+		for _, v := range sig {
+			id, ok := inv[v]
+			if !ok {
+				return fmt.Errorf("kminhash: value %#x of column %d is not the hash of any of %d rows under seed %#x", v, c, rows, seed)
+			}
+			pw.WriteBits(id, width)
+		}
+		if err := pw.Flush(); err != nil { // byte-align the column
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSketches parses a stream written by WriteCompressed, returning
+// the sketches and the recorded seed. The per-column arenas are
+// rebuilt in bounded chunks so a hostile header cannot size an
+// allocation, mirroring the signature readers.
+func ReadSketches(r io.Reader) (*Sketches, uint64, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(sketchCompressedMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, 0, fmt.Errorf("kminhash: reading magic: %w", err)
+	}
+	if string(magic) != sketchCompressedMagic {
+		return nil, 0, fmt.Errorf("kminhash: bad magic %q", magic)
+	}
+	var hdr [40]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, 0, fmt.Errorf("kminhash: reading header: %w", err)
+	}
+	k := binary.LittleEndian.Uint64(hdr[0:])
+	m := binary.LittleEndian.Uint64(hdr[8:])
+	rows := binary.LittleEndian.Uint64(hdr[16:])
+	seed := binary.LittleEndian.Uint64(hdr[24:])
+	updates := binary.LittleEndian.Uint64(hdr[32:])
+	const maxDim = 1 << 31
+	// The arena chunks are k-wide, so bound k as well as the totals: a
+	// header claiming a million-value bottom-k sketch would size a
+	// k-proportional allocation before any payload byte arrives.
+	const maxK = 1 << 20
+	if k == 0 || k > maxK || m > maxDim || rows > maxDim {
+		return nil, 0, fmt.Errorf("kminhash: implausible dimensions k=%d m=%d rows=%d", k, m, rows)
+	}
+	if k*m > (1 << 34) {
+		return nil, 0, fmt.Errorf("kminhash: sketch matrix too large: %d values", k*m)
+	}
+	if updates > (1 << 62) {
+		return nil, 0, fmt.Errorf("kminhash: implausible update count %d", updates)
+	}
+	h := hashing.NewPermHash(seed)
+	width := uint(bits.Len64(rows))
+	pr := bitpack.NewReader(br)
+	s := &Sketches{K: int(k), Updates: int64(updates)}
+	// Grow the column table and the shared value arena a chunk of
+	// columns at a time: every decoded column consumes at least two
+	// bytes of input, so allocation is paced by bytes that actually
+	// arrived rather than by the header's claimed m·k.
+	colChunk := uint64(1<<20) / k
+	if colChunk == 0 {
+		colChunk = 1
+	}
+	var backing []uint64 // arena of the current column chunk
+	for c := uint64(0); c < m; c++ {
+		if uint64(len(s.Sigs)) == c {
+			grow := m - c
+			if grow > colChunk {
+				grow = colChunk
+			}
+			s.Sigs = append(s.Sigs, make([][]uint64, grow)...)
+			s.ColSizes = append(s.ColSizes, make([]int, grow)...)
+			backing = make([]uint64, grow*k)
+			for i := uint64(0); i < grow; i++ {
+				s.Sigs[c+i] = backing[i*k : i*k : (i+1)*k]
+			}
+		}
+		size, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, 0, fmt.Errorf("kminhash: column %d size: %w", c, err)
+		}
+		if size > rows {
+			return nil, 0, fmt.Errorf("kminhash: column %d size %d exceeds %d rows", c, size, rows)
+		}
+		s.ColSizes[c] = int(size)
+		length, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, 0, fmt.Errorf("kminhash: column %d sketch length: %w", c, err)
+		}
+		if length > k || length > size {
+			return nil, 0, fmt.Errorf("kminhash: column %d sketch length %d exceeds min(k=%d, size=%d)", c, length, k, size)
+		}
+		prev := uint64(0)
+		for i := uint64(0); i < length; i++ {
+			id, err := pr.ReadBits(width)
+			if err != nil {
+				return nil, 0, fmt.Errorf("kminhash: column %d value %d: %w", c, i, err)
+			}
+			if id >= rows {
+				return nil, 0, fmt.Errorf("kminhash: column %d value %d: row id %d out of range", c, i, id)
+			}
+			v := h.Row(int(id))
+			if i > 0 && v < prev {
+				return nil, 0, fmt.Errorf("kminhash: column %d values not sorted", c)
+			}
+			prev = v
+			s.Sigs[c] = append(s.Sigs[c], v)
+		}
+		pr.Align() // columns are byte-aligned
+	}
+	if s.Sigs == nil {
+		s.Sigs = [][]uint64{}
+		s.ColSizes = []int{}
+	}
+	return s, seed, nil
+}

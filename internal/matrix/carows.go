@@ -1,0 +1,297 @@
+package matrix
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/bits"
+	"os"
+	"sync/atomic"
+
+	"assocmine/internal/bitpack"
+)
+
+// The ".carows" compressed row-streaming format. Like ".arows" it is
+// row-major and one-pass, but gaps between consecutive column indices
+// are Golomb-Rice coded instead of varint coded, with a per-row
+// parameter chosen by exact cost search, so sparse rows pay close to
+// the gap entropy (a few bits per posting) instead of at least a byte.
+// Rows whose postings are dense enough that even Rice coding loses to
+// one bit per column fall back to a literal row bitmap. Every row is
+// byte-aligned, so decode errors carry exact byte offsets and a
+// corrupt row cannot desynchronise more than the current pass.
+//
+// Layout:
+//
+//	"CRW1"  uvarint rows  uvarint cols
+//	per row, byte aligned:
+//	  uvarint h            h == 0: empty row (no payload)
+//	                       else count = h>>6, mode = (h>>5)&1, k = h&31
+//	  mode 0: Rice(k) bitstream — first column index absolute, then
+//	          gap-1 per subsequent index; padded to the byte boundary
+//	  mode 1: ceil(cols/8) literal bitmap bytes, LSB-first; exactly
+//	          count bits set, none at or beyond cols (k must be 0)
+const rowCompressedMagic = "CRW1"
+
+// uvarintLen returns the encoded size of v in bytes under
+// binary.PutUvarint — the ".arows" cost of the same value, which the
+// compressed scans account as logical bytes.
+func uvarintLen(v uint64) int64 {
+	return int64((bits.Len64(v|1) + 6) / 7)
+}
+
+// WriteRowCompressed writes src in the ".carows" compressed streaming
+// format. One pass over src.
+func WriteRowCompressed(w io.Writer, src RowSource) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(rowCompressedMagic); err != nil {
+		return err
+	}
+	var vbuf [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(vbuf[:], v)
+		_, err := bw.Write(vbuf[:n])
+		return err
+	}
+	if err := writeUvarint(uint64(src.NumRows())); err != nil {
+		return err
+	}
+	cols := src.NumCols()
+	if err := writeUvarint(uint64(cols)); err != nil {
+		return err
+	}
+	bitmapBytes := uint64((cols + 7) / 8)
+	var vals []uint64
+	var bitmap []byte
+	pw := bitpack.NewWriter(bw)
+	err := src.Scan(func(row int, rcols []int32) error {
+		if len(rcols) == 0 {
+			return writeUvarint(0)
+		}
+		vals = vals[:0]
+		prev := int32(-1)
+		for _, c := range rcols {
+			// Gaps between sorted distinct indices are >= 1, so encode
+			// gap-1; with prev starting at -1 the first value is the
+			// absolute index, matching the decoder.
+			vals = append(vals, uint64(c-prev)-1)
+			prev = c
+		}
+		k, riceBits := bitpack.BestRiceK(vals)
+		if k > 31 {
+			// Unreachable while column ids fit in int32; see BestRiceK.
+			return fmt.Errorf("matrix: rice parameter %d overflows row header", k)
+		}
+		h := uint64(len(rcols))<<6 | uint64(k)
+		if bitmapBytes < (riceBits+7)/8 {
+			h = uint64(len(rcols))<<6 | 1<<5
+			if err := writeUvarint(h); err != nil {
+				return err
+			}
+			if uint64(len(bitmap)) < bitmapBytes {
+				bitmap = make([]byte, bitmapBytes)
+			}
+			b := bitmap[:bitmapBytes]
+			for i := range b {
+				b[i] = 0
+			}
+			for _, c := range rcols {
+				b[c>>3] |= 1 << (uint(c) & 7)
+			}
+			_, err := bw.Write(b)
+			return err
+		}
+		if err := writeUvarint(h); err != nil {
+			return err
+		}
+		for _, v := range vals {
+			pw.WriteRice(v, k)
+		}
+		return pw.Flush() // byte-align the row
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// SaveRowCompressed writes src to path in the ".carows" compressed
+// streaming format.
+func SaveRowCompressed(path string, src RowSource) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = WriteRowCompressed(f, src)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func readRowCompressedHeader(r byteScanner) (rows, cols int, err error) {
+	magic := make([]byte, len(rowCompressedMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return 0, 0, fmt.Errorf("reading compressed-row magic: %w", err)
+	}
+	if string(magic) != rowCompressedMagic {
+		return 0, 0, fmt.Errorf("bad compressed-row magic %q", magic)
+	}
+	r64, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, 0, fmt.Errorf("reading row count: %w", err)
+	}
+	c64, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, 0, fmt.Errorf("reading column count: %w", err)
+	}
+	const maxDim = 1 << 31
+	if r64 > maxDim || c64 > maxDim {
+		return 0, 0, fmt.Errorf("implausible compressed-row dimensions %dx%d", r64, c64)
+	}
+	return int(r64), int(c64), nil
+}
+
+// compressedRowDecoder walks the rows of a ".carows" stream after the
+// header, handing each posting to emit as (row, col). It validates as
+// strictly as the ".arows" decoder — counts within the column bound,
+// strictly increasing in-range indices, canonical headers — and
+// accounts the logical (".arows"-equivalent) byte cost of what it
+// decodes, so compression ratios compare like with like.
+type compressedRowDecoder struct {
+	r       byteScanner
+	cols    int
+	pr      *bitpack.Reader
+	bitmap  []byte
+	logical int64
+}
+
+func newCompressedRowDecoder(r byteScanner, cols int) *compressedRowDecoder {
+	return &compressedRowDecoder{r: r, cols: cols, pr: bitpack.NewReader(r)}
+}
+
+// decodeRow decodes one row, invoking emit per posting in increasing
+// column order. Decode errors are returned raw; the caller wraps them
+// with path and offset.
+func (d *compressedRowDecoder) decodeRow(row int, emit func(col int32)) error {
+	h, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		return fmt.Errorf("row %d header: %w", row, err)
+	}
+	if h == 0 {
+		d.logical++ // the ".arows" zero-length varint
+		return nil
+	}
+	count := h >> 6
+	mode := (h >> 5) & 1
+	k := uint(h & 31)
+	if count == 0 || count > uint64(d.cols) {
+		return fmt.Errorf("row %d count %d out of range", row, count)
+	}
+	d.logical += uvarintLen(count)
+	if mode == 1 {
+		if k != 0 {
+			return fmt.Errorf("row %d bitmap header has rice parameter %d", row, k)
+		}
+		// Decode the ceil(cols/8)-byte bitmap in bounded chunks: the
+		// header's column count must never size an allocation (hostile
+		// headers could claim 2^31 columns from a 10-byte file).
+		if d.bitmap == nil {
+			d.bitmap = make([]byte, 1<<12)
+		}
+		n := (d.cols + 7) / 8
+		seen := uint64(0)
+		prev := int64(-1)
+		for off := 0; off < n; off += len(d.bitmap) {
+			b := d.bitmap
+			if rest := n - off; rest < len(b) {
+				b = b[:rest]
+			}
+			if _, err := io.ReadFull(d.r, b); err != nil {
+				return fmt.Errorf("row %d bitmap: %w", row, err)
+			}
+			for i, by := range b {
+				for m := by; m != 0; m &= m - 1 {
+					c := int64(off+i)<<3 + int64(bits.TrailingZeros8(m))
+					if c >= int64(d.cols) {
+						return fmt.Errorf("row %d bitmap bit %d out of range", row, c)
+					}
+					if prev < 0 {
+						d.logical += uvarintLen(uint64(c))
+					} else {
+						d.logical += uvarintLen(uint64(c - prev))
+					}
+					prev = c
+					seen++
+					emit(int32(c))
+				}
+			}
+		}
+		if seen != count {
+			return fmt.Errorf("row %d bitmap has %d bits, header says %d", row, seen, count)
+		}
+		return nil
+	}
+	prev := int64(-1)
+	for i := uint64(0); i < count; i++ {
+		d0, err := d.pr.ReadRice(k)
+		if err != nil {
+			return fmt.Errorf("row %d entry %d: %w", row, i, err)
+		}
+		v := int64(prev) + 1 + int64(d0)
+		if d0 > uint64(d.cols) || v >= int64(d.cols) {
+			return fmt.Errorf("row %d entry %d out of range", row, i)
+		}
+		if prev < 0 {
+			d.logical += uvarintLen(uint64(v))
+		} else {
+			d.logical += uvarintLen(uint64(v - prev))
+		}
+		prev = v
+		emit(int32(v))
+	}
+	d.pr.Align() // rows are byte-aligned
+	return nil
+}
+
+// scanRowCompressed decodes the compressed-row stream, invoking fn per
+// row. Decode failures are passed through wrap (which attaches path
+// and offset); errors returned by fn propagate unchanged. Logical
+// (".arows"-equivalent) bytes decoded are added to logical when
+// non-nil.
+func scanRowCompressed(r byteScanner, wantRows, wantCols int, wrap func(error) error, logical *atomic.Int64, fn func(int, []int32) error) error {
+	if wrap == nil {
+		wrap = func(err error) error { return err }
+	}
+	rows, cols, err := readRowCompressedHeader(r)
+	if err != nil {
+		return wrap(err)
+	}
+	if rows != wantRows || cols != wantCols {
+		return wrap(fmt.Errorf("compressed-row dimensions changed on disk: %dx%d", rows, cols))
+	}
+	d := newCompressedRowDecoder(r, cols)
+	d.logical = rowHeaderLogicalBytes(rows, cols)
+	var buf []int32
+	for row := 0; row < rows; row++ {
+		buf = buf[:0]
+		if err := d.decodeRow(row, func(c int32) { buf = append(buf, c) }); err != nil {
+			return wrap(err)
+		}
+		if err := fn(row, buf); err != nil {
+			return err
+		}
+	}
+	if logical != nil {
+		logical.Add(d.logical)
+	}
+	return nil
+}
+
+// rowHeaderLogicalBytes is the ".arows" header cost — magic plus the
+// two dimension varints — counted once per compressed pass so the
+// logical byte total equals what an uncompressed scan would have read.
+func rowHeaderLogicalBytes(rows, cols int) int64 {
+	return int64(len(rowBinaryMagic)) + uvarintLen(uint64(rows)) + uvarintLen(uint64(cols))
+}

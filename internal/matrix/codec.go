@@ -210,8 +210,16 @@ func ReadBinary(r io.Reader) (*Matrix, error) {
 }
 
 // SaveFile writes the matrix to path, choosing the codec from the
-// extension: ".txt" (or anything else) for text, ".amx" for binary.
+// extension: ".txt" (or anything else) for text, ".amx" for binary,
+// ".arows" for the streaming row binary, ".carows" for the compressed
+// streaming rows.
 func SaveFile(path string, m *Matrix) error {
+	switch {
+	case strings.HasSuffix(path, ".arows"):
+		return SaveRowBinary(path, m.Stream())
+	case strings.HasSuffix(path, ".carows"):
+		return SaveRowCompressed(path, m.Stream())
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -228,9 +236,10 @@ func SaveFile(path string, m *Matrix) error {
 }
 
 // LoadFile reads a matrix written by SaveFile or SaveRowBinary
-// (".amx" column binary, ".arows" streaming binary, text otherwise).
+// (".amx" column binary, ".arows"/".carows" streaming binaries, text
+// otherwise).
 func LoadFile(path string) (*Matrix, error) {
-	if strings.HasSuffix(path, ".arows") {
+	if strings.HasSuffix(path, ".arows") || strings.HasSuffix(path, ".carows") {
 		src, err := OpenFileSource(path)
 		if err != nil {
 			return nil, err

@@ -83,10 +83,11 @@ func (e *FileError) Unwrap() error { return e.Err }
 // unchanged with the data never materialised in memory; each phase
 // costs one sequential file pass.
 //
-// Supported formats: the text transaction format of WriteText, and the
-// row-major streaming binary format of WriteRowBinary (".arows").
-// The column-major ".amx" format cannot be row-streamed; convert it
-// first.
+// Supported formats: the text transaction format of WriteText, the
+// row-major streaming binary format of WriteRowBinary (".arows"), and
+// the compressed row-streaming format of WriteRowCompressed
+// (".carows"). The column-major ".amx" format cannot be row-streamed;
+// convert it first.
 //
 // Opens and reads that fail transiently (see IsTransient) are retried
 // with exponential backoff per the source's RetryPolicy; permanent
@@ -94,13 +95,35 @@ func (e *FileError) Unwrap() error { return e.Err }
 type FileSource struct {
 	path   string
 	fsys   FS
-	binary bool
+	format fileFormat
 	rows   int
 	cols   int
 	retry  RetryPolicy
 
-	bytesRead atomic.Int64
-	retries   atomic.Int64
+	bytesRead    atomic.Int64
+	logicalBytes atomic.Int64
+	retries      atomic.Int64
+}
+
+// fileFormat is the on-disk encoding a FileSource streams, detected
+// from the path suffix at open time.
+type fileFormat uint8
+
+const (
+	formatText   fileFormat = iota // WriteText transaction lines
+	formatARows                    // ".arows" varint row binary
+	formatCARows                   // ".carows" Rice-compressed rows
+)
+
+// formatOf maps a path to its streaming format by suffix.
+func formatOf(path string) fileFormat {
+	switch {
+	case strings.HasSuffix(path, ".carows"):
+		return formatCARows
+	case strings.HasSuffix(path, ".arows"):
+		return formatARows
+	}
+	return formatText
 }
 
 // Path returns the file the source streams from.
@@ -134,6 +157,25 @@ func (fs *FileSource) FaultsInjected() int64 {
 // to call concurrently with Scan.
 func (fs *FileSource) SetRetryPolicy(p RetryPolicy) { fs.retry = p }
 
+// Compressed reports whether the source streams a compressed format
+// (".carows"), i.e. whether the codec counters below are live.
+func (fs *FileSource) Compressed() bool { return fs.format == formatCARows }
+
+// CompressedBytesRead implements CodecCounter: the physical bytes
+// compressed-format scans consumed. Zero for uncompressed sources —
+// their BytesRead is already the logical figure.
+func (fs *FileSource) CompressedBytesRead() int64 {
+	if fs.format != formatCARows {
+		return 0
+	}
+	return fs.bytesRead.Load()
+}
+
+// LogicalBytesRead implements CodecCounter: the ".arows"-equivalent
+// bytes the compressed scans decoded — what the same passes would have
+// read without compression. Zero for uncompressed sources.
+func (fs *FileSource) LogicalBytesRead() int64 { return fs.logicalBytes.Load() }
+
 // ByteCounter is implemented by sources that can report the disk bytes
 // their scans have consumed — the I/O the out-of-core path accounts in
 // Stats.BytesRead and the bytes_read counter.
@@ -152,6 +194,16 @@ type RetryCounter interface {
 // faults_injected counter.
 type FaultCounter interface {
 	FaultsInjected() int64
+}
+
+// CodecCounter is implemented by sources reading a compressed on-disk
+// format. CompressedBytesRead is the physical IO their scans consumed;
+// LogicalBytesRead is the uncompressed-equivalent volume decoded from
+// it. Their ratio is the compression the codec achieved; both are zero
+// on uncompressed sources.
+type CodecCounter interface {
+	CompressedBytesRead() int64
+	LogicalBytesRead() int64
 }
 
 // countingReader counts bytes as they leave the underlying reader.
@@ -273,7 +325,7 @@ func OpenFileSourceFS(fsys FS, path string) (*FileSource, error) {
 	fs := &FileSource{
 		path:   path,
 		fsys:   fsys,
-		binary: strings.HasSuffix(path, ".arows"),
+		format: formatOf(path),
 		retry:  DefaultRetryPolicy,
 	}
 	f, err := fs.open()
@@ -285,8 +337,16 @@ func OpenFileSourceFS(fsys FS, path string) (*FileSource, error) {
 	fail := func(err error) error {
 		return &FileError{Path: fs.path, Offset: tr.off, Err: err}
 	}
-	if fs.binary {
+	switch fs.format {
+	case formatARows:
 		rows, cols, err := readRowBinaryHeader(tr)
+		if err != nil {
+			return nil, fail(err)
+		}
+		fs.rows, fs.cols = rows, cols
+		return fs, nil
+	case formatCARows:
+		rows, cols, err := readRowCompressedHeader(tr)
 		if err != nil {
 			return nil, fail(err)
 		}
@@ -326,8 +386,11 @@ func (fs *FileSource) Scan(fn func(row int, cols []int32) error) error {
 	fail := func(err error) error {
 		return &FileError{Path: fs.path, Offset: tr.off, Err: err}
 	}
-	if fs.binary {
+	switch fs.format {
+	case formatARows:
 		return scanRowBinary(tr, fs.rows, fs.cols, fail, fn)
+	case formatCARows:
+		return scanRowCompressed(tr, fs.rows, fs.cols, fail, &fs.logicalBytes, fn)
 	}
 	// Skip the two header lines.
 	for i := 0; i < 2; i++ {
@@ -476,6 +539,102 @@ func scanRowBinary(r byteScanner, wantRows, wantCols int, wrap func(error) error
 		}
 		if err := fn(row, buf); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// CanFillColumnBits implements BitmapFiller: both binary formats
+// decode straight into packed bit-columns; the text format does not.
+func (fs *FileSource) CanFillColumnBits() bool { return fs.format != formatText }
+
+// FillColumnBits implements BitmapFiller with one sequential pass that
+// decodes postings directly into the packed arena — no row slices are
+// materialised and no shards are broadcast. Validation, byte
+// accounting and *FileError offsets are identical to Scan's.
+func (fs *FileSource) FillColumnBits(slot []int32, arena []uint64, words int) error {
+	if len(slot) < fs.cols {
+		return fmt.Errorf("matrix: slot table covers %d of %d columns", len(slot), fs.cols)
+	}
+	f, err := fs.open()
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr := fs.reader(f, true)
+	fail := func(err error) error {
+		return &FileError{Path: fs.path, Offset: tr.off, Err: err}
+	}
+	switch fs.format {
+	case formatARows:
+		return fillRowBinaryBits(tr, fs.rows, fs.cols, fail, slot, arena, words)
+	case formatCARows:
+		rows, cols, err := readRowCompressedHeader(tr)
+		if err != nil {
+			return fail(err)
+		}
+		if rows != fs.rows || cols != fs.cols {
+			return fail(fmt.Errorf("compressed-row dimensions changed on disk: %dx%d", rows, cols))
+		}
+		d := newCompressedRowDecoder(tr, cols)
+		d.logical = rowHeaderLogicalBytes(rows, cols)
+		for row := 0; row < rows; row++ {
+			w := row >> 6
+			bit := uint64(1) << (uint(row) & 63)
+			if err := d.decodeRow(row, func(c int32) {
+				if sl := slot[c]; sl >= 0 {
+					arena[int(sl)*words+w] |= bit
+				}
+			}); err != nil {
+				return fail(err)
+			}
+		}
+		fs.logicalBytes.Add(d.logical)
+		return nil
+	}
+	return fmt.Errorf("matrix: %s: text sources cannot fill column bits", fs.path)
+}
+
+// fillRowBinaryBits is scanRowBinary fused with bit-column packing:
+// same decode, same validation, but each posting sets its (slot, row)
+// bit instead of growing a row slice.
+func fillRowBinaryBits(r byteScanner, wantRows, wantCols int, wrap func(error) error, slot []int32, arena []uint64, words int) error {
+	rows, cols, err := readRowBinaryHeader(r)
+	if err != nil {
+		return wrap(err)
+	}
+	if rows != wantRows || cols != wantCols {
+		return wrap(fmt.Errorf("row-binary dimensions changed on disk: %dx%d", rows, cols))
+	}
+	for row := 0; row < rows; row++ {
+		length, err := binary.ReadUvarint(r)
+		if err != nil {
+			return wrap(fmt.Errorf("row %d length: %w", row, err))
+		}
+		if length > uint64(cols) {
+			return wrap(fmt.Errorf("row %d length %d exceeds column count", row, length))
+		}
+		w := row >> 6
+		bit := uint64(1) << (uint(row) & 63)
+		prev := int32(0)
+		for i := uint64(0); i < length; i++ {
+			d, err := binary.ReadUvarint(r)
+			if err != nil {
+				return wrap(fmt.Errorf("row %d entry %d: %w", row, i, err))
+			}
+			var v int32
+			if i == 0 {
+				v = int32(d)
+			} else {
+				v = prev + int32(d)
+			}
+			if v < 0 || int(v) >= cols || (i > 0 && v <= prev) {
+				return wrap(fmt.Errorf("row %d entry %d out of range", row, i))
+			}
+			if sl := slot[v]; sl >= 0 {
+				arena[int(sl)*words+w] |= bit
+			}
+			prev = v
 		}
 	}
 	return nil

@@ -60,6 +60,43 @@ func FuzzReadBinary(f *testing.F) {
 	})
 }
 
+func FuzzCArowsRoundTrip(f *testing.F) {
+	var seed bytes.Buffer
+	_ = WriteRowCompressed(&seed, paperExample().Stream())
+	f.Add(seed.Bytes())
+	// A multi-shard matrix (rows beyond one 64-row shard) with both
+	// sparse Rice rows and dense bitmap rows.
+	var wide bytes.Buffer
+	_ = WriteRowCompressed(&wide, fuzzSeedMatrix().Stream())
+	f.Add(wide.Bytes())
+	// Truncations at and around the shard-boundary rows.
+	for _, cut := range []int{4, 6, len(wide.Bytes()) / 2, len(wide.Bytes()) - 1} {
+		if cut < wide.Len() {
+			f.Add(wide.Bytes()[:cut])
+		}
+	}
+	f.Add([]byte("CRW1"))
+	f.Add([]byte("CRWX\x01\x01"))
+	f.Add(carows("CRW1", []uint64{1, 4}, riceRow(1<<6|1<<5, 0, nil)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := parseCArows(data)
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteRowCompressed(&out, m.Stream()); err != nil {
+			t.Fatalf("re-encode of parsed matrix failed: %v", err)
+		}
+		m2, err := parseCArows(out.Bytes())
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if !matricesEqual(m, m2) {
+			t.Fatal("compressed row codec not idempotent")
+		}
+	})
+}
+
 func FuzzReadNamedTransactions(f *testing.F) {
 	f.Add("milk bread\nbeer milk\n")
 	f.Add("# comment\n\n")

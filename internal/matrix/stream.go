@@ -1,5 +1,11 @@
 package matrix
 
+import "errors"
+
+// errNoBitmapFill reports a FillColumnBits call on a source whose
+// CanFillColumnBits is false; callers are expected to check first.
+var errNoBitmapFill = errors.New("matrix: source cannot fill column bits")
+
 // RowSource models one-pass, row-at-a-time access to a dataset, the
 // access pattern available for large disk-resident tables. The paper's
 // phase-1 (signature computation) and phase-3 (candidate pruning)
@@ -40,6 +46,21 @@ type ColumnLister interface {
 	// ColumnRows returns the sorted row indices of column c. The
 	// returned slice must not be modified.
 	ColumnRows(c int) []int32
+}
+
+// BitmapFiller is a RowSource that can decode one pass of itself
+// directly into packed bit-columns, skipping row-slice materialisation
+// and shard fan-out — the decode-fusion fast path of the packed
+// verification kernel. slot maps column id to arena slot (-1 = column
+// not wanted); bit (slot[c], row) of the words-stride arena is set for
+// every posting (row, c) with slot[c] >= 0. One FillColumnBits call
+// costs one sequential pass. Implementations whose capability depends
+// on runtime state (a file source's format) gate it behind
+// CanFillColumnBits; callers must check it before calling.
+type BitmapFiller interface {
+	RowSource
+	CanFillColumnBits() bool
+	FillColumnBits(slot []int32, arena []uint64, words int) error
 }
 
 // Stream returns a RowSource view of the matrix. The row-major
@@ -119,6 +140,27 @@ func (c *CountingSource) Scan(fn func(row int, cols []int32) error) error {
 		c.Rows++
 		return fn(row, cols)
 	})
+}
+
+// CanFillColumnBits implements BitmapFiller by delegation.
+func (c *CountingSource) CanFillColumnBits() bool {
+	bf, ok := c.Src.(BitmapFiller)
+	return ok && bf.CanFillColumnBits()
+}
+
+// FillColumnBits implements BitmapFiller by delegation, accounting the
+// pass and the rows it decoded like a completed Scan.
+func (c *CountingSource) FillColumnBits(slot []int32, arena []uint64, words int) error {
+	bf, ok := c.Src.(BitmapFiller)
+	if !ok || !bf.CanFillColumnBits() {
+		return errNoBitmapFill
+	}
+	c.Passes++
+	err := bf.FillColumnBits(slot, arena, words)
+	if err == nil {
+		c.Rows += int64(c.Src.NumRows())
+	}
+	return err
 }
 
 // SliceSource is a RowSource over in-memory row-major data; rows[r]

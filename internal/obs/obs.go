@@ -66,6 +66,13 @@ const (
 	// exceeded Config.MemoryBudget.
 	CounterSpillRuns  = "spill_runs"
 	CounterSpillBytes = "spill_bytes"
+	// CounterCompressedBytesRead totals the on-disk bytes delivered by
+	// compressed-format sources (".carows"), the compressed share of
+	// CounterBytesRead. CounterSpillBytesCompressed totals the spill-run
+	// bytes written under the compressed spill codec, the compressed
+	// share of CounterSpillBytes.
+	CounterCompressedBytesRead  = "compressed_bytes_read"
+	CounterSpillBytesCompressed = "spill_bytes_compressed"
 	// CounterIORetries counts transient IO errors the file-backed
 	// source retried away (absent on healthy disks and in-memory runs).
 	CounterIORetries = "io_retries"
@@ -91,6 +98,12 @@ const (
 	// GaugeSignatureBytes approximates the resident memory of the
 	// signature structures ("main memory" in the paper's model).
 	GaugeSignatureBytes = "signature_bytes"
+	// GaugeCodecRatio records the run's overall compression ratio —
+	// uncompressed-equivalent bytes over bytes actually moved, across
+	// compressed file reads and spill writes — as a fixed-point
+	// percentage (ratio x 100, so 330 means 3.3x). Unset when the run
+	// moved no compressed bytes.
+	GaugeCodecRatio = "codec_ratio"
 )
 
 // Recorder receives observability events from a pipeline run. All

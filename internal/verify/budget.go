@@ -20,6 +20,7 @@ import (
 	"runtime"
 	"sort"
 
+	"assocmine/internal/bitpack"
 	"assocmine/internal/matrix"
 	"assocmine/internal/obs"
 	"assocmine/internal/pairs"
@@ -34,6 +35,8 @@ type Budget struct {
 	// Dir receives the spill runs; "" means the OS temp directory. Run
 	// files are deleted before the call returns.
 	Dir string
+	// Codec selects the run encoding; the zero value is SpillCompressed.
+	Codec SpillCodec
 }
 
 const (
@@ -116,7 +119,7 @@ func exactSpill(src matrix.RowSource, cand []pairs.Scored, threshold float64, bu
 	m := src.NumCols()
 	ws := make([]*budgetWorker, len(shards))
 	for s, sh := range shards {
-		ws[s] = newBudgetWorker(m, cand[sh[0]:sh[1]], threshold, maxEntries, budget.Dir)
+		ws[s] = newBudgetWorker(m, cand[sh[0]:sh[1]], threshold, maxEntries, budget.Dir, budget.Codec)
 	}
 	defer func() {
 		for _, w := range ws {
@@ -170,6 +173,8 @@ func exactSpill(src matrix.RowSource, cand []pairs.Scored, threshold float64, bu
 		total.Touches += w.st.Touches
 		total.SpillRuns += w.st.SpillRuns
 		total.SpillBytes += w.st.SpillBytes
+		total.SpillBytesRaw += w.st.SpillBytesRaw
+		total.SpillBytesCompressed += w.st.SpillBytesCompressed
 	}
 	total.Out = len(out)
 	return out, total, nil
@@ -184,12 +189,13 @@ type budgetWorker struct {
 	table      map[int32]spillCounter
 	maxEntries int
 	dir        string
+	codec      SpillCodec
 	runs       []*os.File
 	st         Stats
 	err        error
 }
 
-func newBudgetWorker(m int, cand []pairs.Scored, threshold float64, maxEntries int, dir string) *budgetWorker {
+func newBudgetWorker(m int, cand []pairs.Scored, threshold float64, maxEntries int, dir string, codec SpillCodec) *budgetWorker {
 	w := &budgetWorker{
 		cand:       cand,
 		threshold:  threshold,
@@ -197,6 +203,7 @@ func newBudgetWorker(m int, cand []pairs.Scored, threshold float64, maxEntries i
 		table:      make(map[int32]spillCounter, maxEntries),
 		maxEntries: maxEntries,
 		dir:        dir,
+		codec:      codec,
 	}
 	for idx, p := range cand {
 		w.pairsOf[p.I] = append(w.pairsOf[p.I], int32(idx))
@@ -236,9 +243,10 @@ func (w *budgetWorker) processRow(r int32, cols []int32) error {
 	return nil
 }
 
-// spill writes the table as one sorted run and resets it. The run file
-// joins w.runs only on success; any write failure deletes it on the
-// spot, so cleanup never has an orphan to miss.
+// spill writes the table as one sorted run in the configured codec and
+// resets it. The run file joins w.runs only on success; any write
+// failure deletes it on the spot, so cleanup never has an orphan to
+// miss.
 func (w *budgetWorker) spill() (err error) {
 	entries := w.sortedEntries()
 	f, err := os.CreateTemp(w.dir, "assocmine-spill-*.run")
@@ -252,16 +260,15 @@ func (w *budgetWorker) spill() (err error) {
 		}
 	}()
 	bw := bufio.NewWriter(f)
-	var buf [binary.MaxVarintLen64]byte
-	var written int64
-	for _, e := range entries {
-		for _, v := range [3]uint64{uint64(uint32(e.idx)), uint64(e.either), uint64(e.both)} {
-			n := binary.PutUvarint(buf[:], v)
-			if _, err := bw.Write(buf[:n]); err != nil {
-				return err
-			}
-			written += int64(n)
-		}
+	var written, raw int64
+	if w.codec == SpillRaw {
+		written, err = writeRawRun(bw, entries)
+		raw = written
+	} else {
+		written, raw, err = writeCompressedRun(bw, entries)
+	}
+	if err != nil {
+		return err
 	}
 	if err := bw.Flush(); err != nil {
 		return err
@@ -269,6 +276,10 @@ func (w *budgetWorker) spill() (err error) {
 	w.runs = append(w.runs, f)
 	w.st.SpillRuns++
 	w.st.SpillBytes += written
+	w.st.SpillBytesRaw += raw
+	if w.codec != SpillRaw {
+		w.st.SpillBytesCompressed += written
+	}
 	w.table = make(map[int32]spillCounter, w.maxEntries)
 	return nil
 }
@@ -314,7 +325,7 @@ func (w *budgetWorker) finish() ([]pairs.Scored, error) {
 		if _, err := f.Seek(0, io.SeekStart); err != nil {
 			return nil, err
 		}
-		cursors = append(cursors, &runCursor{br: bufio.NewReader(f)})
+		cursors = append(cursors, newRunCursor(bufio.NewReader(f), w.codec, len(w.cand)))
 	}
 	cursors = append(cursors, &runCursor{mem: resident})
 	h := make(cursorHeap, 0, len(cursors))
@@ -363,13 +374,30 @@ func (w *budgetWorker) cleanup() {
 	w.runs = nil
 }
 
-// runCursor streams one sorted run — file-backed or the in-memory
-// remainder of the table.
+// runCursor streams one sorted run — file-backed in either spill codec
+// or the in-memory remainder of the table.
 type runCursor struct {
-	br  *bufio.Reader
-	mem []spillEntry
-	pos int
-	cur spillEntry
+	br    *bufio.Reader
+	codec SpillCodec
+	mem   []spillEntry
+	pos   int
+	cur   spillEntry
+
+	// Compressed-run decode state: the current block, the bit reader
+	// (persistent across blocks, re-aligned at each boundary), the
+	// running previous index of the delta chain, and the candidate count
+	// bounding decoded indices.
+	blk     []spillEntry
+	blkPos  int
+	pr      *bitpack.Reader
+	prevIdx int64
+	nCand   int32
+}
+
+// newRunCursor returns a cursor over one file-backed run. nCand bounds
+// the candidate indices a compressed run may decode.
+func newRunCursor(br *bufio.Reader, codec SpillCodec, nCand int) *runCursor {
+	return &runCursor{br: br, codec: codec, prevIdx: -1, nCand: int32(nCand)}
 }
 
 // advance loads the next entry, reporting whether one was available.
@@ -380,6 +408,19 @@ func (c *runCursor) advance() (bool, error) {
 		}
 		c.cur = c.mem[c.pos]
 		c.pos++
+		return true, nil
+	}
+	if c.codec != SpillRaw {
+		if c.blkPos >= len(c.blk) {
+			switch err := c.readSpillBlock(); {
+			case err == io.EOF:
+				return false, nil
+			case err != nil:
+				return false, err
+			}
+		}
+		c.cur = c.blk[c.blkPos]
+		c.blkPos++
 		return true, nil
 	}
 	idx, err := binary.ReadUvarint(c.br)

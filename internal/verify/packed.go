@@ -345,8 +345,10 @@ func packedSweep(ctx context.Context, batch []pairs.Scored, arena []uint64, slot
 // packColumns fills the arena with the bit-columns of cols: bit (slot,
 // row) is set iff the row has a 1 in the column assigned to that slot.
 // Strategy by source capability, fastest first: direct column lists
-// (matrix.ColumnLister — no row scan at all), one concurrent scan per
-// worker over disjoint slot ranges (in-memory sources), a single
+// (matrix.ColumnLister — no row scan at all), fused decode-to-bitmap
+// (matrix.BitmapFiller — file sources, compressed or not, unpack
+// postings straight into the arena in one pass), one concurrent scan
+// per worker over disjoint slot ranges (in-memory sources), a single
 // fanned-out sequential scan with slot-range consumers (streaming
 // sources, the one pass the disk-resident setting allows), or a plain
 // serial scan. Workers write disjoint arena regions in every strategy,
@@ -361,6 +363,13 @@ func packColumns(src matrix.RowSource, slot []int32, cols []int32, arena []uint6
 			}
 		}
 		return 0, nil
+	}
+	if bf, ok := src.(matrix.BitmapFiller); ok && bf.CanFillColumnBits() {
+		// Decode fusion: the source unpacks its own postings straight
+		// into the arena — one sequential pass, no row slices, no shard
+		// broadcast — so compressed and uncompressed file sources feed
+		// the packed kernel at decode speed.
+		return 0, bf.FillColumnBits(slot, arena, words)
 	}
 	if workers > len(cols) {
 		workers = len(cols)

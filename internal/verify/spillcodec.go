@@ -1,0 +1,198 @@
+// Spill-run codecs for the budgeted verification pass. A run is a
+// sorted sequence of (candidate index, either, both) partial counts;
+// the raw codec writes one uvarint triple per entry, the compressed
+// codec groups entries into blocks and Rice-codes each field with a
+// per-block parameter. Indices within a run are strictly increasing,
+// so they are coded as gap-1 deltas (the running previous index
+// carries across blocks); either is at least 1 for every spilled entry
+// (an entry exists only once a row touched it), so it is coded as
+// either-1; both is coded as-is. Blocks are byte-aligned, framed by a
+// uvarint entry count and three parameter bytes, which lets the merge
+// cursor decode a block at a time with bounded state.
+package verify
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/bits"
+
+	"assocmine/internal/bitpack"
+)
+
+// SpillCodec selects the on-disk encoding of the budgeted pass's spill
+// runs. The zero value is the compressed codec: spill volume dominates
+// the pass's IO and partial counts are small and clustered, so the
+// Rice blocks typically cut run bytes 3-4x for pure encode/decode
+// arithmetic (no allocation per entry).
+type SpillCodec int
+
+const (
+	// SpillCompressed writes Rice-coded delta blocks (the default).
+	SpillCompressed SpillCodec = iota
+	// SpillRaw writes plain uvarint (idx, either, both) triples — the
+	// pre-codec format, kept for measurement and as a debugging fallback.
+	SpillRaw
+)
+
+// spillBlockEntries bounds one compressed block: large enough that the
+// 4-5 framing bytes amortise to noise, small enough that the merge
+// cursor's decoded-block buffer stays a few KB.
+const spillBlockEntries = 512
+
+// uvarintLen returns the encoded size of v as a uvarint, pricing the
+// raw codec without materialising it.
+func uvarintLen(v uint64) int64 {
+	return int64((bits.Len64(v|1) + 6) / 7)
+}
+
+// countWriter counts the bytes the codecs emit.
+type countWriter struct {
+	w *bufio.Writer
+	n int64
+}
+
+func (cw *countWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// writeRawRun writes entries as plain uvarint triples, returning the
+// byte count.
+func writeRawRun(bw *bufio.Writer, entries []spillEntry) (int64, error) {
+	cw := &countWriter{w: bw}
+	var buf [binary.MaxVarintLen64]byte
+	for _, e := range entries {
+		for _, v := range [3]uint64{uint64(uint32(e.idx)), uint64(e.either), uint64(e.both)} {
+			n := binary.PutUvarint(buf[:], v)
+			if _, err := cw.Write(buf[:n]); err != nil {
+				return cw.n, err
+			}
+		}
+	}
+	return cw.n, nil
+}
+
+// writeCompressedRun writes entries as Rice-coded blocks, returning
+// the bytes written and the bytes the raw codec would have written for
+// the same entries (the ratio numerator for codec accounting).
+func writeCompressedRun(bw *bufio.Writer, entries []spillEntry) (written, raw int64, err error) {
+	cw := &countWriter{w: bw}
+	pw := bitpack.NewWriter(cw)
+	var vbuf [binary.MaxVarintLen64]byte
+	idxs := make([]uint64, 0, spillBlockEntries)
+	eis := make([]uint64, 0, spillBlockEntries)
+	bos := make([]uint64, 0, spillBlockEntries)
+	prev := int64(-1)
+	for len(entries) > 0 {
+		n := len(entries)
+		if n > spillBlockEntries {
+			n = spillBlockEntries
+		}
+		blk := entries[:n]
+		entries = entries[n:]
+		idxs, eis, bos = idxs[:0], eis[:0], bos[:0]
+		for _, e := range blk {
+			idxs = append(idxs, uint64(int64(e.idx)-prev)-1)
+			prev = int64(e.idx)
+			eis = append(eis, uint64(e.either)-1)
+			bos = append(bos, uint64(e.both))
+			raw += uvarintLen(uint64(uint32(e.idx))) + uvarintLen(uint64(e.either)) + uvarintLen(uint64(e.both))
+		}
+		kIdx, _ := bitpack.BestRiceK(idxs)
+		kE, _ := bitpack.BestRiceK(eis)
+		kB, _ := bitpack.BestRiceK(bos)
+		hn := binary.PutUvarint(vbuf[:], uint64(n))
+		if _, err := cw.Write(vbuf[:hn]); err != nil {
+			return cw.n, raw, err
+		}
+		if _, err := cw.Write([]byte{byte(kIdx), byte(kE), byte(kB)}); err != nil {
+			return cw.n, raw, err
+		}
+		for _, v := range idxs {
+			pw.WriteRice(v, kIdx)
+		}
+		for _, v := range eis {
+			pw.WriteRice(v, kE)
+		}
+		for _, v := range bos {
+			pw.WriteRice(v, kB)
+		}
+		if err := pw.Flush(); err != nil { // byte-align the block
+			return cw.n, raw, err
+		}
+	}
+	return cw.n, raw, nil
+}
+
+// readSpillBlock decodes the next compressed block into c.blk,
+// advancing c.prevIdx. Returns io.EOF exactly when the run ends
+// cleanly at a block boundary. The files are this process's own temp
+// output, but decode still validates every field — a bug (or a
+// truncated write the fault-injection suite provokes) must surface as
+// an error, never as silent count corruption.
+func (c *runCursor) readSpillBlock() error {
+	n, err := binary.ReadUvarint(c.br)
+	if err == io.EOF {
+		return io.EOF
+	}
+	if err != nil {
+		return fmt.Errorf("verify: reading spill run: %w", err)
+	}
+	if n == 0 || n > spillBlockEntries {
+		return fmt.Errorf("verify: spill run corrupt: block of %d entries", n)
+	}
+	var params [3]byte
+	if _, err := io.ReadFull(c.br, params[:]); err != nil {
+		return fmt.Errorf("verify: reading spill run: %w", err)
+	}
+	for _, k := range params {
+		if uint(k) > bitpack.MaxRiceK {
+			return fmt.Errorf("verify: spill run corrupt: rice parameter %d", k)
+		}
+	}
+	if c.pr == nil {
+		c.pr = bitpack.NewReader(c.br)
+	}
+	if cap(c.blk) < int(n) {
+		c.blk = make([]spillEntry, n)
+	}
+	c.blk = c.blk[:n]
+	for i := range c.blk {
+		d, err := c.pr.ReadRice(uint(params[0]))
+		if err != nil {
+			return fmt.Errorf("verify: reading spill run: %w", err)
+		}
+		idx := c.prevIdx + 1 + int64(d)
+		if idx >= int64(c.nCand) {
+			return fmt.Errorf("verify: spill run corrupt: candidate index %d of %d", idx, c.nCand)
+		}
+		c.prevIdx = idx
+		c.blk[i].idx = int32(idx)
+	}
+	for i := range c.blk {
+		v, err := c.pr.ReadRice(uint(params[1]))
+		if err != nil {
+			return fmt.Errorf("verify: reading spill run: %w", err)
+		}
+		if v >= 1<<31 {
+			return fmt.Errorf("verify: spill run corrupt: either count %d", v+1)
+		}
+		c.blk[i].either = int32(v) + 1
+	}
+	for i := range c.blk {
+		v, err := c.pr.ReadRice(uint(params[2]))
+		if err != nil {
+			return fmt.Errorf("verify: reading spill run: %w", err)
+		}
+		if v >= 1<<31 {
+			return fmt.Errorf("verify: spill run corrupt: both count %d", v)
+		}
+		c.blk[i].both = int32(v)
+	}
+	c.pr.Align() // blocks are byte-aligned
+	c.blkPos = 0
+	return nil
+}

@@ -1,0 +1,150 @@
+package verify
+
+import (
+	"bufio"
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"assocmine/internal/hashing"
+)
+
+// TestSpillCodecsMatch: both spill codecs must produce output
+// bit-identical to the unbounded pass, and the accounting must price
+// the compression honestly (SpillBytesRaw identical across codecs,
+// since the spill schedule is deterministic and codec-independent).
+func TestSpillCodecsMatch(t *testing.T) {
+	rng := hashing.NewSplitMix64(37)
+	m := randomMatrix(rng, 600, 60, 0.1)
+	cand := allPairsCandidates(60)
+	want, _, err := Exact(m.Stream(), cand, 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := map[SpillCodec]Stats{}
+	for _, codec := range []SpillCodec{SpillCompressed, SpillRaw} {
+		for _, workers := range []int{1, 4} {
+			budget := Budget{Bytes: 4 << 10, Dir: t.TempDir(), Codec: codec}
+			got, st, err := ExactBudgeted(m.Stream(), cand, 0.03, budget, workers, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("codec=%d workers=%d: output differs from Exact", codec, workers)
+			}
+			if workers == 1 {
+				stats[codec] = st
+			}
+		}
+	}
+	comp, raw := stats[SpillCompressed], stats[SpillRaw]
+	if comp.SpillRuns == 0 || raw.SpillRuns == 0 {
+		t.Fatal("fixture did not spill; test would be vacuous")
+	}
+	if comp.SpillBytesCompressed != comp.SpillBytes || comp.SpillBytesRaw <= comp.SpillBytes {
+		t.Errorf("compressed accounting inconsistent: %+v", comp)
+	}
+	if raw.SpillBytesCompressed != 0 || raw.SpillBytesRaw != raw.SpillBytes {
+		t.Errorf("raw accounting inconsistent: %+v", raw)
+	}
+	if comp.SpillBytesRaw != raw.SpillBytes {
+		t.Errorf("raw-equivalent price %d but raw codec wrote %d", comp.SpillBytesRaw, raw.SpillBytes)
+	}
+	if comp.SpillBytes*2 >= raw.SpillBytes {
+		t.Errorf("compressed runs %d bytes vs raw %d: expected at least 2x", comp.SpillBytes, raw.SpillBytes)
+	}
+}
+
+// TestSpillCompressedRunRoundTrip: the block codec restores an entry
+// sequence exactly, across block boundaries.
+func TestSpillCompressedRunRoundTrip(t *testing.T) {
+	rng := hashing.NewSplitMix64(41)
+	var entries []spillEntry
+	idx := int32(0)
+	for len(entries) < 3*spillBlockEntries+17 {
+		idx += int32(rng.Next()%7) + 1
+		both := int32(rng.Next() % 100)
+		entries = append(entries, spillEntry{idx: idx, either: both + 1 + int32(rng.Next()%50), both: both})
+	}
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	written, raw, err := writeCompressedRun(bw, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if written != int64(buf.Len()) {
+		t.Fatalf("accounted %d bytes, wrote %d", written, buf.Len())
+	}
+	if raw <= written {
+		t.Fatalf("raw equivalent %d not larger than compressed %d", raw, written)
+	}
+	c := newRunCursor(bufio.NewReader(&buf), SpillCompressed, int(idx)+1)
+	for i, want := range entries {
+		ok, err := c.advance()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("run ended at entry %d of %d", i, len(entries))
+		}
+		if c.cur != want {
+			t.Fatalf("entry %d: got %+v want %+v", i, c.cur, want)
+		}
+	}
+	if ok, err := c.advance(); ok || err != nil {
+		t.Fatalf("expected clean EOF, got ok=%v err=%v", ok, err)
+	}
+}
+
+// TestSpillRunCorruptionDetected: malformed compressed runs must
+// surface as errors from the merge cursor, never as silent counts.
+func TestSpillRunCorruptionDetected(t *testing.T) {
+	valid := func(entries []spillEntry) []byte {
+		var buf bytes.Buffer
+		bw := bufio.NewWriter(&buf)
+		if _, _, err := writeCompressedRun(bw, entries); err != nil {
+			t.Fatal(err)
+		}
+		if err := bw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	good := valid([]spillEntry{{idx: 3, either: 2, both: 1}, {idx: 90, either: 5, both: 0}})
+	cases := []struct {
+		name  string
+		data  []byte
+		nCand int
+		want  string
+	}{
+		{"zero-entry block", []byte{0x00}, 100, "block of 0"},
+		{"oversized block", []byte{0xff, 0xff, 0x7f}, 100, "block of"},
+		{"bad rice parameter", []byte{0x01, 0x63, 0x00, 0x00}, 100, "rice parameter"},
+		{"truncated params", []byte{0x02, 0x00}, 100, "reading spill run"},
+		{"truncated payload", good[:len(good)-1], 100, "reading spill run"},
+		{"index out of range", good, 50, "candidate index"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := newRunCursor(bufio.NewReader(bytes.NewReader(tc.data)), SpillCompressed, tc.nCand)
+			var err error
+			for {
+				var ok bool
+				ok, err = c.advance()
+				if !ok {
+					break
+				}
+			}
+			if err == nil {
+				t.Fatal("corrupt run read to EOF without error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -27,9 +27,16 @@ type Stats struct {
 	Shards int64
 	// SpillRuns and SpillBytes report the sorted runs the budgeted pass
 	// wrote to disk when the counter table exceeded its memory budget
-	// (both 0 when everything stayed resident).
-	SpillRuns  int64
-	SpillBytes int64
+	// (both 0 when everything stayed resident). SpillBytes is the bytes
+	// actually written in the configured Budget.Codec; SpillBytesRaw is
+	// what the plain uvarint-triple encoding would have cost for the
+	// same entries, and SpillBytesCompressed equals SpillBytes under
+	// SpillCompressed (0 under SpillRaw) — the pair prices the codec for
+	// ratio reporting without a second pass.
+	SpillRuns            int64
+	SpillBytes           int64
+	SpillBytesRaw        int64
+	SpillBytesCompressed int64
 
 	// PackedWords counts the uint64 AND/OR word operations of the packed
 	// popcount kernel and PackedBatches the candidate batches its

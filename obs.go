@@ -67,6 +67,9 @@ const (
 	CounterShards           = obs.CounterShards
 	CounterSpillRuns        = obs.CounterSpillRuns
 	CounterSpillBytes       = obs.CounterSpillBytes
+
+	CounterCompressedBytesRead  = obs.CounterCompressedBytesRead
+	CounterSpillBytesCompressed = obs.CounterSpillBytesCompressed
 	CounterIORetries        = obs.CounterIORetries
 	CounterFaultsInjected   = obs.CounterFaultsInjected
 	CounterPackedWords      = obs.CounterPackedWords
@@ -76,6 +79,7 @@ const (
 	GaugeCandidateWorkers = obs.GaugeCandidateWorkers
 	GaugeVerifyWorkers    = obs.GaugeVerifyWorkers
 	GaugeSignatureBytes   = obs.GaugeSignatureBytes
+	GaugeCodecRatio       = obs.GaugeCodecRatio
 )
 
 // WriteMetrics renders c in the Prometheus text exposition format.

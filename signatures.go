@@ -21,6 +21,7 @@ import (
 type Signatures struct {
 	sig  *minhash.Signatures
 	seed uint64
+	rows int // dataset row count, -1 when unknown (loaded sketches)
 }
 
 // ComputeSignatures runs the phase-1 scan once. Workers follow the
@@ -39,7 +40,7 @@ func ComputeSignatures(d *Dataset, k int, seed uint64, workers int) (*Signatures
 	if err != nil {
 		return nil, err
 	}
-	return &Signatures{sig: sig, seed: seed}, nil
+	return &Signatures{sig: sig, seed: seed, rows: d.NumRows()}, nil
 }
 
 // K returns the number of min-hash values per column.
@@ -67,7 +68,28 @@ func (s *Signatures) Save(path string) error {
 	return err
 }
 
-// LoadSignatures reads a sketch written by Save.
+// SaveCompressed persists the sketch in the compressed AMC1 format:
+// each cell stored as its argmin row id in a few bits instead of a raw
+// 64-bit hash value, typically 5-6x smaller, loading back bit-identical
+// through LoadSignatures. Only sketches produced by ComputeSignatures
+// in this process know their dataset's row count; loaded sketches
+// cannot be re-saved compressed.
+func (s *Signatures) SaveCompressed(path string) error {
+	if s.rows < 0 {
+		return fmt.Errorf("assocmine: sketch row count unknown; only sketches from ComputeSignatures can be saved compressed")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = s.sig.WriteCompressed(f, s.seed, s.rows)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// LoadSignatures reads a sketch written by Save or SaveCompressed.
 func LoadSignatures(path string) (*Signatures, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -78,7 +100,7 @@ func LoadSignatures(path string) (*Signatures, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Signatures{sig: sig, seed: seed}, nil
+	return &Signatures{sig: sig, seed: seed, rows: -1}, nil
 }
 
 // SimilarPairsWithSignatures answers a similar-pairs query from a

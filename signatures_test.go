@@ -35,6 +35,55 @@ func TestSignaturesRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSignaturesCompressedRoundTrip: SaveCompressed must load back
+// bit-identical through LoadSignatures while writing a smaller file,
+// and a loaded sketch (row count unknown) must refuse to re-save
+// compressed.
+func TestSignaturesCompressedRoundTrip(t *testing.T) {
+	d, _ := plantedDataset(t)
+	s, err := ComputeSignatures(d, 40, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	raw := filepath.Join(dir, "sketch.amh")
+	comp := filepath.Join(dir, "sketch.amc")
+	if err := s.Save(raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveCompressed(comp); err != nil {
+		t.Fatal(err)
+	}
+	ri, err := os.Stat(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, err := os.Stat(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Size()*3 > ri.Size() {
+		t.Errorf("compressed sketch %d bytes, raw %d: expected at least 3x", ci.Size(), ri.Size())
+	}
+	loaded, err := LoadSignatures(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.K() != s.K() || loaded.Seed() != s.Seed() || loaded.NumCols() != s.NumCols() {
+		t.Fatal("metadata did not round trip")
+	}
+	for i := 0; i < 10; i++ {
+		for j := i + 1; j < 10; j++ {
+			if loaded.Estimate(i, j) != s.Estimate(i, j) {
+				t.Fatalf("estimate (%d,%d) differs after compressed round trip", i, j)
+			}
+		}
+	}
+	if err := loaded.SaveCompressed(filepath.Join(dir, "again.amc")); err == nil {
+		t.Error("loaded sketch re-saved compressed despite unknown row count")
+	}
+}
+
 func TestSignaturesParallelIdentical(t *testing.T) {
 	d, _ := plantedDataset(t)
 	a, err := ComputeSignatures(d, 30, 3, 1)

@@ -12,9 +12,12 @@ func saveDataset(t *testing.T, d *Dataset, ext string) *FileDataset {
 	t.Helper()
 	path := filepath.Join(t.TempDir(), "data"+ext)
 	var err error
-	if ext == ".arows" {
+	switch ext {
+	case ".arows":
 		err = d.SaveRowBinary(path)
-	} else {
+	case ".carows":
+		err = d.SaveRowCompressed(path)
+	default:
 		err = d.Save(path)
 	}
 	if err != nil {
