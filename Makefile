@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check statcheck streamcheck chaoscheck packedcheck compresscheck race race-all vet fmt bench bench-json benchdiff experiments experiments-full fuzz clean
+.PHONY: all build test check statcheck streamcheck chaoscheck packedcheck compresscheck incrcheck race race-all vet fmt bench bench-json benchdiff experiments experiments-full fuzz clean
 
 all: build vet test
 
@@ -12,7 +12,7 @@ build:
 test:
 	$(GO) test ./...
 
-check: build vet test race statcheck streamcheck chaoscheck packedcheck compresscheck
+check: build vet test race statcheck streamcheck chaoscheck packedcheck compresscheck incrcheck
 
 # The statistical-accuracy suite (recall / false-positive-rate bounds
 # on seeded synthetic matrices; deterministic).
@@ -54,6 +54,17 @@ compresscheck:
 	$(GO) test -race -run 'TestCompressed|TestSignaturesCompressed' .
 	$(GO) test -race ./internal/bitpack
 	$(GO) test -race -run 'TestCompressed|TestFileSourceCompressed|TestSaveLoadFileCompressed|TestFillColumnBits|TestSpillCodecs|TestSpillCompressed|TestSpillRun|TestWriteCompressed|TestReadCompressed|TestSketchCodec|TestReadSketches' ./internal/matrix ./internal/verify ./internal/minhash ./internal/kminhash
+
+# The incremental-ingestion differential suite under the race detector:
+# chunked appends with mid-stream snapshot round-trips bit-identical to
+# batch computes, catch-up from grown files folding only the new rows,
+# sliding windows equal to batch folds over the suffix, and the
+# merge/fold-state property tests in the sketch packages.
+incrcheck:
+	$(GO) test -race -run 'TestIncr' .
+	$(GO) test -race -run 'TestMerge|TestFoldState|TestComputeStream' ./internal/minhash ./internal/kminhash
+	$(GO) test -race -run 'TestDistributeShards|TestTailSource' ./internal/matrix
+	$(GO) test -race -run 'TestGoldenIncremental|TestIncrCLI' ./cmd/assocfind
 
 # Race-detect the packages with concurrent code paths (fast); race-all
 # covers the whole tree.
@@ -103,6 +114,10 @@ fuzz:
 	$(GO) test ./internal/minhash -fuzz FuzzReadSignatures -fuzztime 10s
 	$(GO) test ./internal/minhash -fuzz FuzzCompressedSignatures -fuzztime 10s
 	$(GO) test ./internal/kminhash -fuzz FuzzReadSketches -fuzztime 10s
+	$(GO) test ./internal/minhash -fuzz FuzzFoldStateRoundTrip -fuzztime 10s
+	$(GO) test ./internal/minhash -fuzz FuzzMergeVsBatch -fuzztime 10s
+	$(GO) test ./internal/kminhash -fuzz FuzzFoldStateRoundTrip -fuzztime 10s
+	$(GO) test ./internal/kminhash -fuzz FuzzMergeVsBatch -fuzztime 10s
 	$(GO) test . -fuzz FuzzOpenFileDataset -fuzztime 10s
 	$(GO) test ./internal/faultfs -fuzz FuzzPlanRowBinary -fuzztime 10s
 	$(GO) test ./internal/verify -fuzz FuzzPackedVsScalar -fuzztime 10s

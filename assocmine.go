@@ -157,6 +157,16 @@ type Config struct {
 	// "" means the OS temp directory. Run files never outlive the call,
 	// successful or not.
 	SpillDir string
+	// Window, when positive, mines only the trailing Window rows of the
+	// data: rows before NumRows-Window are skipped in every pass (row
+	// ids are preserved, so signatures stay comparable with full-data
+	// runs of the same seed), and similarities are exact over the window
+	// alone. A Window >= NumRows is a full-data run. Sliding windows are
+	// a streaming notion, so the whole-data schemes reject them:
+	// HammingLSH (its fold ladder ingests the materialised matrix) and
+	// Apriori (support counting is defined over all rows) return an
+	// error for Window > 0.
+	Window int
 	// VerifyKernel selects the verification counting kernel. KernelAuto
 	// (the default) runs the word-packed popcount kernel when the
 	// candidate-column bitmaps fit comfortably in memory — and, under a
@@ -217,6 +227,12 @@ func (c *Config) setDefaults() error {
 	}
 	if c.Algorithm == Apriori && (c.MinSupport <= 0 || c.MinSupport > 1) {
 		return fmt.Errorf("assocmine: Apriori requires MinSupport in (0,1], got %v", c.MinSupport)
+	}
+	if c.Window < 0 {
+		return fmt.Errorf("assocmine: Window must be >= 0, got %d", c.Window)
+	}
+	if c.Window > 0 && (c.Algorithm == HammingLSH || c.Algorithm == Apriori) {
+		return fmt.Errorf("assocmine: %v does not support sliding-window mining (Window=%d)", c.Algorithm, c.Window)
 	}
 	c.Workers = normalizeWorkers(c.Workers)
 	return nil
@@ -357,6 +373,14 @@ func similarPairs(rawSrc matrix.RowSource, materialize func() (*matrix.Matrix, e
 	// deliberately hides them (and every scan below goes through it, so
 	// cancellation aborts each phase at its next row).
 	probe := rawSrc
+	if cfg.Window > 0 {
+		// The tail wrapper also hides the full-data fast-path interfaces
+		// (ColumnLister, ConcurrentSource), so every phase below falls to
+		// the streamed scans and sees only the window's rows.
+		if from := rawSrc.NumRows() - cfg.Window; from > 0 {
+			rawSrc = &matrix.TailSource{Src: rawSrc, From: from}
+		}
+	}
 	if cfg.Context != nil {
 		rawSrc = matrix.WithContext(cfg.Context, rawSrc)
 	}

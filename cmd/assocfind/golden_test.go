@@ -78,6 +78,9 @@ func TestGoldenOutput(t *testing.T) {
 		{"mlsh", options{in: data, algo: "mlsh", threshold: 0.5, k: 80, r: 5, l: 16, seed: 3, top: 10, stats: true, metrics: true}},
 		{"brute", options{in: data, algo: "brute", threshold: 0.5, top: 10, stats: true}},
 		{"stream-kmh", options{in: data, algo: "kmh", threshold: 0.5, k: 80, seed: 3, top: 10, stats: true, stream: true}},
+		// Sliding-window run: only the trailing 120 rows are mined, so
+		// the golden locks in the reduced rows-scanned accounting too.
+		{"window-mh", options{in: data, algo: "mh", threshold: 0.5, k: 80, seed: 3, top: 10, stats: true, metrics: true, window: 120}},
 		{"stream-mh", options{in: data, algo: "mh", threshold: 0.5, k: 80, seed: 3, top: 10, stats: true, metrics: true, stream: true}},
 		// threshold 0.1 admits ~44 candidates, whose counter table
 		// overflows the 128-byte budget — the golden locks in nonzero

@@ -1,0 +1,228 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"assocmine/internal/testutil"
+)
+
+// pairsOnly trims the output to the "N similar pairs ..." report — the
+// part that is independent of input paths and of how the sketch was
+// built (batch scan or incremental catch-up).
+func pairsOnly(t *testing.T, out string) string {
+	t.Helper()
+	i := strings.Index(out, "similar pairs")
+	if i < 0 {
+		t.Fatalf("no similar-pairs report in output:\n%s", out)
+	}
+	return pairsSection(out[strings.LastIndex(out[:i], "\n")+1:])
+}
+
+// stateFlags points o at an ingest snapshot: mode is "append" or
+// "resume".
+func stateFlags(o options, mode, path string) options {
+	if mode == "append" {
+		o.appendState = path
+	} else {
+		o.resumeState = path
+	}
+	return o
+}
+
+// TestGoldenIncremental locks the CLI output of the incremental modes
+// for the committed dataset: a first -append run folds every row into a
+// fresh snapshot, a -resume run against that snapshot folds nothing —
+// and both mine exactly the pairs of the direct (non-incremental) run.
+// Regenerate with:
+//
+//	go test ./cmd/assocfind -run TestGoldenIncremental -update
+func TestGoldenIncremental(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	data := filepath.Join("testdata", "golden.txt")
+	cases := []struct {
+		name string
+		mode string // append | resume
+		o    options
+	}{
+		{"incr-append-mh", "append", options{in: data, algo: "mh", threshold: 0.5, k: 80, seed: 3, top: 10, stats: true}},
+		{"incr-resume-mh", "resume", options{in: data, algo: "mh", threshold: 0.5, k: 80, seed: 3, top: 10, stats: true}},
+		{"incr-append-kmh", "append", options{in: data, algo: "kmh", threshold: 0.5, k: 80, seed: 3, top: 10, stats: true, stream: true}},
+		{"incr-resume-kmh", "resume", options{in: data, algo: "kmh", threshold: 0.5, k: 80, seed: 3, top: 10, stats: true, stream: true}},
+	}
+	tmp := t.TempDir()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var serialPairs string
+			for _, workers := range []int{1, 4} {
+				o := tc.o
+				o.workers = workers
+				state := filepath.Join(tmp, fmt.Sprintf("%s_w%d.ain", tc.name, workers))
+				if tc.mode == "resume" {
+					// A resume needs an existing snapshot; build it with a
+					// setup append run whose output is not under test.
+					captureRun(t, stateFlags(o, "append", state))
+				}
+				out := normalize(captureRun(t, stateFlags(o, tc.mode, state)))
+				wantFold := "incremental: 300 new rows folded (total 300, live 300 in 1 checkpoints)"
+				if tc.mode == "resume" {
+					wantFold = "incremental: 0 new rows folded (total 300, live 300 in 1 checkpoints)"
+				}
+				if !strings.Contains(out, wantFold) {
+					t.Fatalf("output missing %q:\n%s", wantFold, out)
+				}
+				// The incremental sketch must mine exactly the direct run's
+				// pairs, at every worker count.
+				direct := pairsOnly(t, normalize(captureRun(t, tc.o)))
+				if got := pairsOnly(t, out); got != direct {
+					t.Fatalf("incremental pairs differ from direct run:\n--- direct ---\n%s\n--- incremental ---\n%s", direct, got)
+				}
+				if workers == 1 {
+					serialPairs = pairsOnly(t, out)
+				} else if p := pairsOnly(t, out); p != serialPairs {
+					t.Fatalf("workers=4 mined different pairs than workers=1:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s", serialPairs, p)
+				}
+				golden := filepath.Join("testdata", fmt.Sprintf("golden_%s_w%d.golden", tc.name, workers))
+				if *update {
+					if err := os.WriteFile(golden, []byte(out), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					continue
+				}
+				want, err := os.ReadFile(golden)
+				if err != nil {
+					t.Fatalf("reading golden (run with -update to create): %v", err)
+				}
+				if out != string(want) {
+					t.Errorf("workers=%d output differs from %s:\n%s", workers, golden, diffLines(string(want), out))
+				}
+			}
+		})
+	}
+}
+
+// writePrefix writes the first rows lines of the committed golden
+// matrix (text format) to a new file, producing the "same file, before
+// it grew" fixture for catch-up runs.
+func writePrefix(t *testing.T, dir string, rows int) string {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("testdata", "golden.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	var cols int
+	if _, err := fmt.Sscanf(lines[1], "%d %d", new(int), &cols); err != nil {
+		t.Fatalf("parsing header %q: %v", lines[1], err)
+	}
+	out := append([]string{lines[0], fmt.Sprintf("%d %d", rows, cols)}, lines[2:2+rows]...)
+	path := filepath.Join(dir, fmt.Sprintf("prefix%d.txt", rows))
+	if err := os.WriteFile(path, []byte(strings.Join(out, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestIncrCLIStagedCatchUp drives -append the way it is meant to be
+// used: repeated runs against a growing file, each folding only the
+// rows added since the previous run, with the final query equal to the
+// direct run over the full file.
+func TestIncrCLIStagedCatchUp(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	tmp := t.TempDir()
+	prefix := writePrefix(t, tmp, 150)
+	full := filepath.Join("testdata", "golden.txt")
+	base := options{algo: "mh", threshold: 0.5, k: 80, seed: 3, top: 10, workers: 2}
+
+	state := filepath.Join(tmp, "staged.ain")
+	o := base
+	o.in, o.appendState = prefix, state
+	out := captureRun(t, o)
+	if !strings.Contains(out, "incremental: 150 new rows folded (total 150, live 150 in 1 checkpoints)") {
+		t.Fatalf("first append run did not fold the prefix:\n%s", out)
+	}
+	o.in = full
+	out = captureRun(t, o)
+	if !strings.Contains(out, "incremental: 150 new rows folded (total 300, live 300 in 1 checkpoints)") {
+		t.Fatalf("second append run did not fold only the new rows:\n%s", out)
+	}
+	direct := base
+	direct.in = full
+	if got, want := pairsOnly(t, out), pairsOnly(t, captureRun(t, direct)); got != want {
+		t.Fatalf("caught-up pairs differ from direct run:\n--- direct ---\n%s\n--- incremental ---\n%s", want, got)
+	}
+
+	// A shrunken input must be rejected, leaving the snapshot intact.
+	o.in = prefix
+	if err := run(o); err == nil || !strings.Contains(err.Error(), "shrank") {
+		t.Fatalf("shrunken input accepted: %v", err)
+	}
+	// Mismatched sketch parameters must be rejected with a hint.
+	bad := o
+	bad.in, bad.seed = full, 99
+	if err := run(bad); err == nil || !strings.Contains(err.Error(), "was built with") {
+		t.Fatalf("seed mismatch accepted: %v", err)
+	}
+	// -resume reruns the query without rewriting the snapshot.
+	info, err := os.Stat(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := base
+	r.in, r.resumeState = full, state
+	out = captureRun(t, r)
+	if !strings.Contains(out, "incremental: 0 new rows folded") {
+		t.Fatalf("resume run refolded rows:\n%s", out)
+	}
+	after, err := os.Stat(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.ModTime().Equal(info.ModTime()) || after.Size() != info.Size() {
+		t.Fatal("-resume rewrote the snapshot")
+	}
+	// -resume against a missing snapshot is an error, not a silent
+	// from-scratch rebuild.
+	r.resumeState = filepath.Join(tmp, "nonexistent.ain")
+	if err := run(r); err == nil || !strings.Contains(err.Error(), "does not exist") {
+		t.Fatalf("missing resume snapshot accepted: %v", err)
+	}
+}
+
+// TestIncrCLIWindow drives the sliding-window mode end to end: three
+// -append -window 2 runs leave the last two batches (200 rows) live,
+// and the query equals a plain -window 200 run over the full file.
+func TestIncrCLIWindow(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	tmp := t.TempDir()
+	stages := []string{
+		writePrefix(t, tmp, 100),
+		writePrefix(t, tmp, 200),
+		filepath.Join("testdata", "golden.txt"),
+	}
+	base := options{algo: "mh", threshold: 0.5, k: 80, seed: 3, top: 10, workers: 2}
+	state := filepath.Join(tmp, "window.ain")
+	var out string
+	for _, in := range stages {
+		o := base
+		o.in, o.appendState, o.window = in, state, 2
+		out = captureRun(t, o)
+	}
+	if !strings.Contains(out, "incremental: 100 new rows folded (total 300, live 200 in 2 checkpoints)") {
+		t.Fatalf("windowed ingest did not expire the first batch:\n%s", out)
+	}
+	direct := base
+	direct.in, direct.window = stages[2], 200
+	if got, want := pairsOnly(t, out), pairsOnly(t, captureRun(t, direct)); got != want {
+		t.Fatalf("windowed incremental pairs differ from plain -window run:\n--- plain ---\n%s\n--- incremental ---\n%s", want, got)
+	}
+	// Reopening the snapshot with a different window size is rejected.
+	o := base
+	o.in, o.appendState, o.window = stages[2], state, 3
+	if err := run(o); err == nil || !strings.Contains(err.Error(), "window") {
+		t.Fatalf("window mismatch accepted: %v", err)
+	}
+}

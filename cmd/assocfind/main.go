@@ -10,6 +10,9 @@
 //	assocfind -in baskets.txt -transactions -algo mh -threshold 0.8 -clusters
 //	assocfind -in data.amx -rules -confidence 0.9
 //	assocfind -in data.amx -algo apriori -threshold 0.5 -support 0.01
+//	assocfind -in grow.arows -algo mh -threshold 0.5 -stream -append sketch.ain
+//	assocfind -in grow.arows -algo kmh -threshold 0.5 -stream -resume sketch.ain
+//	assocfind -in data.arows -algo mh -threshold 0.5 -window 1000
 package main
 
 import (
@@ -48,6 +51,9 @@ type options struct {
 	timeout     time.Duration
 	txns        bool
 	clusters    bool
+	appendState string
+	resumeState string
+	window      int
 	metrics     bool
 	progress    bool
 	metricsAddr string
@@ -77,6 +83,9 @@ func main() {
 	flag.DurationVar(&o.timeout, "timeout", 0, "abort the mining run after this long, e.g. 30s, 5m; 0 = no limit. Aborted runs clean up their spill files and exit non-zero")
 	flag.BoolVar(&o.txns, "transactions", false, "input is named-transaction format (item names per line)")
 	flag.BoolVar(&o.clusters, "clusters", false, "also group the found pairs into column clusters")
+	flag.StringVar(&o.appendState, "append", "", "incremental: maintain an ingest snapshot at this path — catch up on the input's unseen rows (O(new rows), creating the snapshot if missing), save it back, then query from the merged sketch (mh, mlsh, kmh)")
+	flag.StringVar(&o.resumeState, "resume", "", "incremental: like -append but read-only — load the snapshot and catch up in memory without rewriting it")
+	flag.IntVar(&o.window, "window", 0, "sliding window: with -append/-resume, keep only the last N catch-up batches live; otherwise mine only the trailing N rows of the input (mh, kmh, mlsh, brute)")
 	flag.BoolVar(&o.metrics, "metrics", false, "print per-phase metrics in Prometheus text format after the run")
 	flag.BoolVar(&o.progress, "progress", false, "report per-phase progress on stderr while mining")
 	flag.StringVar(&o.metricsAddr, "metrics-addr", "", "serve /metrics and /debug/vars on this address while running (e.g. :8080)")
@@ -115,6 +124,12 @@ func parseAlgo(s string) (assocmine.Algorithm, error) {
 }
 
 func run(o options) error {
+	if o.appendState != "" && o.resumeState != "" {
+		return errors.New("-append and -resume are mutually exclusive")
+	}
+	if incr := o.appendState != "" || o.resumeState != ""; incr && (o.doRules || o.txns) {
+		return errors.New("-append/-resume cannot be combined with -rules or -transactions")
+	}
 	stopDiag, err := startDiagnostics(o)
 	if err != nil {
 		return err
@@ -191,6 +206,11 @@ func run(o options) error {
 		MinSupport: o.support, Seed: o.seed, Workers: o.workers,
 		MemoryBudget: budget, VerifyKernel: kernel,
 	}
+	if o.appendState == "" && o.resumeState == "" {
+		// Plain sliding-window mining; in incremental mode -window counts
+		// batches and runIncremental derives the row window itself.
+		cfg.Window = o.window
+	}
 	if o.timeout > 0 {
 		ctx, cancel := context.WithTimeout(context.Background(), o.timeout)
 		defer cancel()
@@ -210,9 +230,12 @@ func run(o options) error {
 		cfg.Progress = progressPrinter(os.Stderr)
 	}
 	var res *assocmine.Result
-	if fd != nil {
+	switch {
+	case o.appendState != "" || o.resumeState != "":
+		res, err = runIncremental(o, a, cfg, data, fd)
+	case fd != nil:
 		res, err = fd.SimilarPairs(cfg)
-	} else {
+	default:
 		res, err = assocmine.SimilarPairs(data, cfg)
 	}
 	if err != nil {
@@ -255,6 +278,89 @@ func run(o options) error {
 		}
 	}
 	return nil
+}
+
+// runIncremental answers the query through an Ingest snapshot: load the
+// snapshot (or start a fresh one for -append), fold only the input's
+// unseen rows, persist the result when appending, and mine from the
+// merged sketch — the full input is rescanned only by the verification
+// pass, never by the sketch phase.
+func runIncremental(o options, a assocmine.Algorithm, cfg assocmine.Config, data *assocmine.Dataset, fd *assocmine.FileDataset) (*assocmine.Result, error) {
+	path, save := o.appendState, true
+	if path == "" {
+		path, save = o.resumeState, false
+	}
+	cols := 0
+	if fd != nil {
+		cols = fd.NumCols()
+	} else {
+		cols = data.NumCols()
+	}
+	var in *assocmine.Ingest
+	if _, statErr := os.Stat(path); statErr == nil {
+		loaded, err := assocmine.LoadIngest(path)
+		if err != nil {
+			return nil, err
+		}
+		if loaded.Algorithm() != a || loaded.K() != o.k || loaded.Seed() != o.seed {
+			return nil, fmt.Errorf("snapshot %s was built with -algo %v -k %d -seed %d; rerun with those flags or start a new snapshot",
+				path, loaded.Algorithm(), loaded.K(), loaded.Seed())
+		}
+		if o.window != 0 && loaded.WindowBatches() != o.window {
+			return nil, fmt.Errorf("snapshot %s uses a %d-batch window, -window asked for %d",
+				path, loaded.WindowBatches(), o.window)
+		}
+		in = loaded
+	} else if !save {
+		return nil, fmt.Errorf("-resume: snapshot %s does not exist (use -append to create one)", path)
+	} else {
+		fresh, err := assocmine.NewIngest(a, cols, o.k, o.seed, o.window)
+		if err != nil {
+			return nil, err
+		}
+		in = fresh
+	}
+	var (
+		n   int
+		err error
+	)
+	if fd != nil {
+		n, err = in.CatchUp(fd, o.workers)
+	} else {
+		n, err = in.CatchUpDataset(data, o.workers)
+	}
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("incremental: %d new rows folded (total %d, live %d in %d checkpoints)\n",
+		n, in.Rows(), in.LiveRows(), in.Windows())
+	if save {
+		if err := in.Save(path); err != nil {
+			return nil, err
+		}
+	}
+	if data == nil {
+		// Verification needs row access; the sketch phase above already
+		// avoided rescanning old rows.
+		if data, err = fd.Load(); err != nil {
+			return nil, err
+		}
+	}
+	if in.WindowBatches() > 0 {
+		cfg.Window = int(in.LiveRows())
+	}
+	if a == assocmine.KMinHash {
+		sk, err := in.Sketches()
+		if err != nil {
+			return nil, err
+		}
+		return assocmine.SimilarPairsWithSketches(data, sk, cfg)
+	}
+	sig, err := in.Signatures()
+	if err != nil {
+		return nil, err
+	}
+	return assocmine.SimilarPairsWithSignatures(data, sig, cfg)
 }
 
 // startDiagnostics starts the requested pprof/trace captures and

@@ -23,6 +23,7 @@ import (
 	"assocmine"
 	"assocmine/internal/candidate"
 	"assocmine/internal/gen"
+	"assocmine/internal/kminhash"
 	"assocmine/internal/lsh"
 	"assocmine/internal/matrix"
 	"assocmine/internal/minhash"
@@ -70,6 +71,17 @@ type streamResult struct {
 	BytesPerSec float64 `json:"bytes_per_sec"`
 }
 
+// incrResult compares recomputing a sketch from scratch against
+// resuming a saved fold state and appending only the new rows — the
+// incremental-ingestion payoff, which should approach total/new.
+type incrResult struct {
+	Pass       string  `json:"pass"`
+	BatchNsOp  int64   `json:"batch_ns_op"`
+	AppendNsOp int64   `json:"append_ns_op"`
+	Speedup    float64 `json:"speedup"`
+	NewRows    int     `json:"new_rows"`
+}
+
 type report struct {
 	Rows       int   `json:"rows"`
 	Cols       int   `json:"cols"`
@@ -87,6 +99,7 @@ type report struct {
 	SpillBytesCompressed int64          `json:"spill_bytes_compressed,omitempty"`
 	Phases               []phaseResult  `json:"phases"`
 	Streamed             []streamResult `json:"streamed"`
+	Incr                 []incrResult   `json:"incr,omitempty"`
 	Pipeline             []pipelineRun  `json:"pipeline"`
 }
 
@@ -229,6 +242,9 @@ func run(out string, rows, cols, k, workers int, kernel assocmine.Kernel, agains
 		}
 	}
 	if err := streamedPasses(&rep, m, cand, k, workers); err != nil {
+		return err
+	}
+	if err := incrPasses(&rep, m, k); err != nil {
 		return err
 	}
 	d := assocmine.WrapMatrix(m)
@@ -442,6 +458,91 @@ func streamedPasses(rep *report, m *matrix.Matrix, cand []pairs.Scored, k, worke
 		rep.FileBytes, rep.CompressedFileBytes, float64(rep.FileBytes)/float64(rep.CompressedFileBytes),
 		rep.SpillBytesRaw, rep.SpillBytesCompressed, float64(rep.SpillBytesRaw)/float64(rep.SpillBytesCompressed))
 	return nil
+}
+
+// incrPasses times the incremental-ingestion payoff: appending the
+// last 10% of the rows to a prebuilt fold state (clone + fold tail,
+// the work a resumed ingest does per catch-up) against recomputing the
+// sketch over the whole matrix. Both sides run serial, so the ratio
+// isolates the O(new rows) resume from parallel speedup.
+func incrPasses(rep *report, m *matrix.Matrix, k int) error {
+	rows := m.NumRows()
+	newRows := rows / 10
+	from := rows - newRows
+	tail := &matrix.TailSource{Src: m.Stream(), From: from}
+	prefix := headSource{src: m.Stream(), n: from}
+
+	mhBase, err := minhash.NewFoldState(m.NumCols(), k, 7)
+	if err != nil {
+		return err
+	}
+	if _, err := minhash.FoldStream(prefix, mhBase, 1); err != nil {
+		return err
+	}
+	kmhBase, err := kminhash.NewFoldState(m.NumCols(), k, 7)
+	if err != nil {
+		return err
+	}
+	if _, err := kminhash.FoldStream(prefix, kmhBase, 1); err != nil {
+		return err
+	}
+	passes := []struct {
+		name          string
+		batch, append func() error
+	}{
+		{"incr/append-mh",
+			func() error { _, err := minhash.Compute(m.Stream(), k, 7); return err },
+			func() error {
+				st := mhBase.Clone()
+				_, err := minhash.FoldStream(tail, st, 1)
+				return err
+			}},
+		{"incr/append-kmh",
+			func() error { _, err := kminhash.Compute(m.Stream(), k, 7); return err },
+			func() error {
+				st := kmhBase.Clone()
+				_, err := kminhash.FoldStream(tail, st, 1)
+				return err
+			}},
+	}
+	for _, p := range passes {
+		b, err := measure(p.batch)
+		if err != nil {
+			return fmt.Errorf("%s batch: %w", p.name, err)
+		}
+		a, err := measure(p.append)
+		if err != nil {
+			return fmt.Errorf("%s append: %w", p.name, err)
+		}
+		r := incrResult{
+			Pass:      p.name,
+			BatchNsOp: b.nsOp, AppendNsOp: a.nsOp,
+			Speedup: float64(b.nsOp) / float64(a.nsOp),
+			NewRows: newRows,
+		}
+		rep.Incr = append(rep.Incr, r)
+		fmt.Fprintf(os.Stderr, "%-26s batch %12d ns/op  append %12d ns/op  speedup %.1fx (%d new rows)\n",
+			r.Pass, r.BatchNsOp, r.AppendNsOp, r.Speedup, r.NewRows)
+	}
+	return nil
+}
+
+// headSource exposes only the first n rows of a source — the "data
+// before it grew" half of the incremental passes.
+type headSource struct {
+	src matrix.RowSource
+	n   int
+}
+
+func (h headSource) NumRows() int { return h.n }
+func (h headSource) NumCols() int { return h.src.NumCols() }
+func (h headSource) Scan(fn func(int, []int32) error) error {
+	return h.src.Scan(func(r int, cols []int32) error {
+		if r >= h.n {
+			return nil
+		}
+		return fn(r, cols)
+	})
 }
 
 // hideConcurrent masks ConcurrentScan so ExactParallel exercises the

@@ -3,90 +3,79 @@ package kminhash
 import (
 	"fmt"
 	"runtime"
-	"sort"
-	"sync/atomic"
 
-	"assocmine/internal/hashing"
 	"assocmine/internal/matrix"
 )
 
-// ComputeStream computes the same bottom-k sketches as Compute — bit
-// for bit — in ONE sequential pass over src, with the per-column heap
-// maintenance fanned out across workers. Unlike ComputeParallel it
-// never materialises the matrix: a single reader streams bounded shards
-// (matrix.FanOutShards) and each worker owns a contiguous column range,
-// updating only the heaps and sizes of its columns. Rows arrive in scan
-// order for every worker, so each column's heap evolves exactly as in
-// the serial pass, including the Updates count.
+// ComputeStream computes the same bottom-k sketches as Compute — same
+// sketch values, column sizes, and estimates — in ONE sequential pass
+// over src without materialising the matrix. The driver is merge-based:
+// shards are dealt round-robin to workers (matrix.DistributeShards),
+// each worker folds its disjoint row subset into a private FoldState,
+// and the states are merged in fixed worker order at the end. The k
+// smallest hash values of a union of rows are the k smallest of the
+// parts' bottom-k multisets, so any worker count and any row partition
+// yield Compute's sketches exactly. The order-dependent Updates counter
+// is exact with one worker and the sum of the per-part counters
+// otherwise (deterministic for a fixed worker count, but not equal to
+// the serial replay).
 //
 // Returns the sketches and the number of shards streamed. workers <= 0
-// means GOMAXPROCS.
+// means GOMAXPROCS; one worker folds shard-by-shard directly.
 func ComputeStream(src matrix.RowSource, k int, seed uint64, workers int) (*Sketches, int64, error) {
-	if k <= 0 {
-		return nil, 0, fmt.Errorf("kminhash: k must be positive, got %d", k)
+	st, err := NewFoldState(src.NumCols(), k, seed)
+	if err != nil {
+		return nil, 0, err
+	}
+	shards, err := FoldStream(src, st, workers)
+	if err != nil {
+		return nil, shards, err
+	}
+	return st.Finish(), shards, nil
+}
+
+// FoldStream folds every row of src into st using workers parallel
+// consumers over one sequential pass, returning the number of shards
+// streamed. st may already hold previously folded rows (the resume
+// path); the new rows are combined in by Merge, so the finished result
+// is exactly the sketch of all rows, old and new. With one worker the
+// rows are folded directly into st in scan order, which keeps a
+// sequential chunked ingest bit-identical to one uninterrupted pass.
+func FoldStream(src matrix.RowSource, st *FoldState, workers int) (int64, error) {
+	if src.NumCols() != st.m {
+		return 0, fmt.Errorf("kminhash: source has %d columns, fold state has %d", src.NumCols(), st.m)
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	m := src.NumCols()
-	if workers > m {
-		workers = m
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	s := newSketches(m, k)
-	h := hashing.NewPermHash(seed)
-	var updates atomic.Int64
-
-	chunk := (m + workers - 1) / workers
-	consumers := make([]func(<-chan *matrix.Shard), 0, workers)
-	for cLo := 0; cLo < m; cLo += chunk {
-		cHi := cLo + chunk
-		if cHi > m {
-			cHi = m
-		}
-		lo, hi := int32(cLo), int32(cHi)
-		consumers = append(consumers, func(ch <-chan *matrix.Shard) {
-			var local int64
-			for sh := range ch {
-				for i := 0; i < sh.Len(); i++ {
-					row, cols := sh.Row(i)
-					// Columns are sorted; binary-search to this worker's
-					// range so dense rows don't cost every worker a full
-					// scan.
-					start := sort.Search(len(cols), func(j int) bool { return cols[j] >= lo })
-					if start == len(cols) || cols[start] >= hi {
-						continue
-					}
-					v := h.Row(int(row))
-					for _, c := range cols[start:] {
-						if c >= hi {
-							break
-						}
-						s.ColSizes[c]++
-						heap := s.Sigs[c]
-						if len(heap) < k {
-							s.Sigs[c] = pushMaxHeap(heap, v)
-							local++
-						} else if v < heap[0] {
-							replaceMaxHeapRoot(heap, v)
-							local++
-						}
-					}
-				}
-			}
-			for c := lo; c < hi; c++ {
-				sig := s.Sigs[c]
-				sort.Slice(sig, func(a, b int) bool { return sig[a] < sig[b] })
-			}
-			updates.Add(local)
+	if workers == 1 {
+		return matrix.ScanShards(src, 0, 0, func(sh *matrix.Shard) error {
+			st.FoldShard(sh)
+			return nil
 		})
 	}
-	shards, err := matrix.FanOutShards(src, 0, 0, consumers)
-	if err != nil {
-		return nil, shards, err
+	parts := make([]*FoldState, workers)
+	consumers := make([]func(<-chan *matrix.Shard), workers)
+	for w := range parts {
+		p, err := NewFoldState(st.m, st.k, st.seed)
+		if err != nil {
+			return 0, err
+		}
+		parts[w] = p
+		consumers[w] = func(ch <-chan *matrix.Shard) {
+			for sh := range ch {
+				p.FoldShard(sh)
+			}
+		}
 	}
-	s.Updates = updates.Load()
-	return s, shards, nil
+	shards, err := matrix.DistributeShards(src, 0, 0, consumers)
+	if err != nil {
+		return shards, err
+	}
+	for _, p := range parts {
+		if err := Merge(st, p); err != nil {
+			return shards, err
+		}
+	}
+	return shards, nil
 }

@@ -117,3 +117,37 @@ func FanOutShards(src RowSource, maxRows, maxCols int, consumers []func(<-chan *
 	wg.Wait()
 	return shards, err
 }
+
+// DistributeShards performs ONE sequential Scan of src, dealing shard i
+// to consumer i%len(consumers) — a deterministic round-robin partition
+// of the row range, as opposed to FanOutShards' broadcast. It is the
+// delivery mechanism of the merge-based streamed signature drivers:
+// each consumer folds its disjoint subset of rows into a private
+// accumulator and the caller merges the accumulators afterwards, which
+// is exact because the sketch folds are mergeable (pointwise min /
+// bottom-k union). Each consumer sees its shards in scan order.
+// DistributeShards returns once the scan is finished and every consumer
+// has drained its channel, reporting the number of shards dealt.
+func DistributeShards(src RowSource, maxRows, maxCols int, consumers []func(<-chan *Shard)) (int64, error) {
+	chans := make([]chan *Shard, len(consumers))
+	var wg sync.WaitGroup
+	for i, consume := range consumers {
+		chans[i] = make(chan *Shard, fanOutDepth)
+		wg.Add(1)
+		go func(consume func(<-chan *Shard), ch <-chan *Shard) {
+			defer wg.Done()
+			consume(ch)
+		}(consume, chans[i])
+	}
+	next := 0
+	shards, err := ScanShards(src, maxRows, maxCols, func(sh *Shard) error {
+		chans[next] <- sh
+		next = (next + 1) % len(chans)
+		return nil
+	})
+	for _, ch := range chans {
+		close(ch)
+	}
+	wg.Wait()
+	return shards, err
+}

@@ -154,6 +154,142 @@ func TestFanOutShards(t *testing.T) {
 	}
 }
 
+// TestDistributeShards: consumers partition the shard stream — every
+// row is seen exactly once across all consumers, shards land
+// round-robin, each consumer sees its shards in scan order, and the
+// reported count matches a direct ScanShards.
+func TestDistributeShards(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	src := shardFixture(211, 5)
+	const workers = 4
+	seen := make([][]int32, workers)
+	shardsPer := make([]int64, workers)
+	consumers := make([]func(<-chan *Shard), workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		consumers[w] = func(ch <-chan *Shard) {
+			last := int32(-1)
+			for sh := range ch {
+				shardsPer[w]++
+				for i := 0; i < sh.Len(); i++ {
+					r, _ := sh.Row(i)
+					if r <= last {
+						t.Errorf("worker %d: row %d after %d, want increasing", w, r, last)
+					}
+					last = r
+					seen[w] = append(seen[w], r)
+				}
+			}
+		}
+	}
+	shards, err := DistributeShards(src, 16, 0, consumers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := ScanShards(src, 16, 0, func(*Shard) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shards != direct {
+		t.Errorf("distribute shards = %d, direct = %d", shards, direct)
+	}
+	var perWorker int64
+	got := make([]bool, 211)
+	for w := 0; w < workers; w++ {
+		perWorker += shardsPer[w]
+		want := (direct + int64(workers) - 1 - int64(w)) / int64(workers)
+		if shardsPer[w] != want {
+			t.Errorf("worker %d got %d shards, want %d (round-robin of %d)", w, shardsPer[w], want, direct)
+		}
+		for _, r := range seen[w] {
+			if got[r] {
+				t.Errorf("row %d delivered twice", r)
+			}
+			got[r] = true
+		}
+	}
+	if perWorker != shards {
+		t.Errorf("consumers got %d shards total, scan dealt %d", perWorker, shards)
+	}
+	for r, ok := range got {
+		if !ok {
+			t.Errorf("row %d never delivered", r)
+		}
+	}
+}
+
+// TestDistributeShardsError: a failed scan still closes every channel
+// and returns once consumers exit — no goroutine leak, error propagated.
+func TestDistributeShardsError(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	boom := errors.New("boom")
+	src := &errAfterSource{SliceSource: shardFixture(100, 3), failAt: 40, err: boom}
+	consumers := make([]func(<-chan *Shard), 3)
+	for i := range consumers {
+		consumers[i] = func(ch <-chan *Shard) {
+			for range ch {
+			}
+		}
+	}
+	_, err := DistributeShards(src, 8, 0, consumers)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+// errAfterSource delivers rows until failAt, then fails the scan.
+type errAfterSource struct {
+	*SliceSource
+	failAt int
+	err    error
+}
+
+func (s *errAfterSource) Scan(fn func(row int, cols []int32) error) error {
+	return s.SliceSource.Scan(func(row int, cols []int32) error {
+		if row >= s.failAt {
+			return s.err
+		}
+		return fn(row, cols)
+	})
+}
+
+// TestTailSource: only rows >= From are delivered, ids preserved, and
+// the wrapper deliberately hides the fast-path capabilities of the
+// wrapped source.
+func TestTailSource(t *testing.T) {
+	src := shardFixture(30, 4)
+	tail := &TailSource{Src: src, From: 12}
+	if tail.NumRows() != 30 || tail.NumCols() != 100 {
+		t.Fatalf("dims = %dx%d, want 30x100", tail.NumRows(), tail.NumCols())
+	}
+	var rows []int
+	err := tail.Scan(func(row int, cols []int32) error {
+		rows = append(rows, row)
+		if len(cols) != len(src.Rows[row]) {
+			t.Errorf("row %d has %d cols, want %d", row, len(cols), len(src.Rows[row]))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 18 || rows[0] != 12 || rows[len(rows)-1] != 29 {
+		t.Fatalf("scanned rows %v, want ids 12..29", rows)
+	}
+	// The underlying SliceSource is a ConcurrentSource; the tail view
+	// must not be, or windowed runs would take full-data fast paths.
+	var rs RowSource = tail
+	if _, ok := rs.(ConcurrentSource); ok {
+		t.Error("TailSource must not implement ConcurrentSource")
+	}
+	if _, ok := rs.(ColumnLister); ok {
+		t.Error("TailSource must not implement ColumnLister")
+	}
+	if _, ok := rs.(BitmapFiller); ok {
+		t.Error("TailSource must not implement BitmapFiller")
+	}
+}
+
 // TestFileSourceBytesRead: scans accumulate the file's bytes; two scans
 // read it twice.
 func TestFileSourceBytesRead(t *testing.T) {

@@ -191,6 +191,35 @@ func (s *SliceSource) Scan(fn func(row int, cols []int32) error) error {
 	return nil
 }
 
+// TailSource restricts a RowSource to the rows with id >= From,
+// preserving the original row ids — the view a sliding window mines
+// after older rows have expired. It deliberately implements ONLY
+// RowSource (no ConcurrentSource / ColumnLister / BitmapFiller
+// delegation): those fast paths operate on the full underlying data and
+// would silently reintroduce the expired rows, so windowed runs must
+// fall back to sequential scans.
+type TailSource struct {
+	Src  RowSource
+	From int // first live row id; rows below it are skipped
+}
+
+// NumRows implements RowSource. Row ids are preserved, so the nominal
+// dimension is unchanged; only Scan's coverage shrinks.
+func (t *TailSource) NumRows() int { return t.Src.NumRows() }
+
+// NumCols implements RowSource.
+func (t *TailSource) NumCols() int { return t.Src.NumCols() }
+
+// Scan implements RowSource, forwarding only rows with id >= From.
+func (t *TailSource) Scan(fn func(row int, cols []int32) error) error {
+	return t.Src.Scan(func(row int, cols []int32) error {
+		if row < t.From {
+			return nil
+		}
+		return fn(row, cols)
+	})
+}
+
 // Collect materialises a RowSource into a Matrix (one pass). It is the
 // inverse of (*Matrix).Stream.
 func Collect(src RowSource) (*Matrix, error) {

@@ -4,81 +4,72 @@ import (
 	"fmt"
 	"runtime"
 
-	"assocmine/internal/hashing"
 	"assocmine/internal/matrix"
 )
 
 // ComputeStream computes the same signatures as Compute — bit for bit —
-// in ONE sequential pass over src, folding each row into the signature
-// matrix incrementally, with the work fanned out across workers. Unlike
-// ComputeParallel it never needs the materialised matrix: a single
-// reader streams bounded shards (matrix.FanOutShards) and each worker
-// owns a contiguous range of hash indices, writing a disjoint region of
-// the k×m value array. The minimum over a column's rows is independent
-// of how the hash indices are split, so any worker count yields the
-// serial result exactly. Memory stays O(k·m) for the signatures plus a
-// constant number of in-flight shards.
+// in ONE sequential pass over src without materialising the matrix. The
+// driver is merge-based: shards are dealt round-robin to workers
+// (matrix.DistributeShards), each worker folds its disjoint row subset
+// into a private FoldState, and the states are merged in fixed worker
+// order at the end. The per-cell minimum over a union of rows is the
+// minimum of the per-part minima, so any worker count and any row
+// partition yield the serial result exactly. Memory is O(workers·k·m)
+// for the states plus a constant number of in-flight shards.
 //
 // Returns the signatures and the number of shards streamed. workers <=
-// 0 means GOMAXPROCS; one worker still streams shard-by-shard (the
-// degenerate fan-out), which keeps accounting uniform.
+// 0 means GOMAXPROCS; one worker folds shard-by-shard directly (the
+// degenerate deal), which keeps accounting uniform.
 func ComputeStream(src matrix.RowSource, k int, seed uint64, workers int) (*Signatures, int64, error) {
-	if k <= 0 {
-		return nil, 0, fmt.Errorf("minhash: k must be positive, got %d", k)
+	st, err := NewFoldState(src.NumCols(), k, seed)
+	if err != nil {
+		return nil, 0, err
+	}
+	shards, err := FoldStream(src, st, workers)
+	if err != nil {
+		return nil, shards, err
+	}
+	return st.Finish(), shards, nil
+}
+
+// FoldStream folds every row of src into st using workers parallel
+// consumers over one sequential pass, returning the number of shards
+// streamed. st may already hold previously folded rows (the resume
+// path); the new rows are combined in by Merge, so the result is
+// exactly the state of folding all rows, old and new. With one worker
+// the rows are folded directly into st in scan order.
+func FoldStream(src matrix.RowSource, st *FoldState, workers int) (int64, error) {
+	if src.NumCols() != st.m {
+		return 0, fmt.Errorf("minhash: source has %d columns, fold state has %d", src.NumCols(), st.m)
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > k {
-		workers = k
-	}
-	m := src.NumCols()
-	sig := &Signatures{K: k, M: m, Vals: make([]uint64, k*m)}
-	hs := hashing.NewPermHashes(seed, k)
-
-	// Contiguous hash-index ranges: worker w folds rows into a private
-	// column-major scratch (its columns' running minima contiguous, as
-	// in Compute) and transposes into Vals[lLo*m : lHi*m) once its
-	// stream drains, so writes never overlap.
-	chunk := (k + workers - 1) / workers
-	consumers := make([]func(<-chan *matrix.Shard), 0, workers)
-	for lLo := 0; lLo < k; lLo += chunk {
-		lHi := lLo + chunk
-		if lHi > k {
-			lHi = k
-		}
-		lLo := lLo
-		consumers = append(consumers, func(ch <-chan *matrix.Shard) {
-			kw := lHi - lLo
-			work := make([]uint64, m*kw) // column-major: work[c*kw+(l-lLo)]
-			for i := range work {
-				work[i] = Empty
-			}
-			rowVals := make([]uint64, kw)
-			for sh := range ch {
-				for i := 0; i < sh.Len(); i++ {
-					row, cols := sh.Row(i)
-					if len(cols) == 0 {
-						continue
-					}
-					for l := lLo; l < lHi; l++ {
-						rowVals[l-lLo] = hs[l].Row(int(row))
-					}
-					for _, c := range cols {
-						foldMin(work[int(c)*kw:int(c)*kw+kw], rowVals)
-					}
-				}
-			}
-			for c := 0; c < m; c++ {
-				for j, v := range work[c*kw : (c+1)*kw] {
-					sig.Vals[(lLo+j)*m+c] = v
-				}
-			}
+	if workers == 1 {
+		return matrix.ScanShards(src, 0, 0, func(sh *matrix.Shard) error {
+			st.FoldShard(sh)
+			return nil
 		})
 	}
-	shards, err := matrix.FanOutShards(src, 0, 0, consumers)
-	if err != nil {
-		return nil, shards, err
+	parts := make([]*FoldState, workers)
+	consumers := make([]func(<-chan *matrix.Shard), workers)
+	for w := range parts {
+		p := newFoldState(st.m, st.k, st.seed, st.hs)
+		parts[w] = p
+		consumers[w] = func(ch <-chan *matrix.Shard) {
+			for sh := range ch {
+				p.FoldShard(sh)
+			}
+		}
 	}
-	return sig, shards, nil
+	shards, err := matrix.DistributeShards(src, 0, 0, consumers)
+	if err != nil {
+		return shards, err
+	}
+	for _, p := range parts {
+		if err := Merge(st, p); err != nil {
+			return shards, err
+		}
+	}
+	return shards, nil
 }

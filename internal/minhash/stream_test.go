@@ -5,6 +5,7 @@ import (
 
 	"assocmine/internal/hashing"
 	"assocmine/internal/matrix"
+	"assocmine/internal/testutil"
 )
 
 func streamFixture(rows, cols int, seed uint64) *matrix.SliceSource {
@@ -22,10 +23,12 @@ func streamFixture(rows, cols int, seed uint64) *matrix.SliceSource {
 	return &matrix.SliceSource{Cols: cols, Rows: out}
 }
 
-// TestComputeStreamBitIdentical: the streamed fan-out must reproduce the
-// serial signatures exactly for any worker count, including worker
-// counts above k.
+// TestComputeStreamBitIdentical: the merge-based streamed driver must
+// reproduce the serial signatures exactly for any worker count,
+// including worker counts above k (pointwise min is
+// partition-independent).
 func TestComputeStreamBitIdentical(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	src := streamFixture(700, 60, 11)
 	const k = 24
 	want, err := Compute(src, k, 5)
@@ -62,6 +65,52 @@ func TestComputeStreamEmptyColumns(t *testing.T) {
 		for _, c := range []int{1, 3, 4} {
 			if sig.Value(l, c) != Empty {
 				t.Fatalf("empty column %d has value at hash %d", c, l)
+			}
+		}
+	}
+}
+
+// TestComputeStreamMoreWorkersThanShards: a tiny source fits one shard,
+// so most consumers drain empty channels and contribute empty states to
+// the merge — the result must still match the serial signatures.
+func TestComputeStreamMoreWorkersThanShards(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	src := streamFixture(9, 12, 3)
+	const k = 6
+	want, err := Compute(src, k, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, shards, err := ComputeStream(src, k, 7, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shards != 1 {
+		t.Fatalf("streamed %d shards, want 1", shards)
+	}
+	for i := range want.Vals {
+		if got.Vals[i] != want.Vals[i] {
+			t.Fatalf("Vals[%d] = %d, want %d", i, got.Vals[i], want.Vals[i])
+		}
+	}
+}
+
+// TestComputeStreamZeroRows: a 0-row source streams zero shards and
+// yields all-sentinel signatures, for any worker count.
+func TestComputeStreamZeroRows(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	src := &matrix.SliceSource{Cols: 6, Rows: nil}
+	for _, workers := range []int{1, 4} {
+		sig, shards, err := ComputeStream(src, 5, 11, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if shards != 0 {
+			t.Errorf("workers=%d: streamed %d shards, want 0", workers, shards)
+		}
+		for i, v := range sig.Vals {
+			if v != Empty {
+				t.Fatalf("workers=%d: Vals[%d] = %d, want sentinel", workers, i, v)
 			}
 		}
 	}

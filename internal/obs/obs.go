@@ -86,6 +86,15 @@ const (
 	// scalar kernel).
 	CounterPackedWords   = "packed_words"
 	CounterPackedBatches = "packed_batches"
+	// CounterRowsAppended counts rows folded into an incremental Ingest
+	// (appended batches and catch-up scans), CounterStatesMerged the
+	// fold-state merges performed to answer queries or combine window
+	// checkpoints, and CounterWindowsExpired the per-window checkpoints
+	// dropped by sliding-window expiry. All three are absent in batch
+	// runs.
+	CounterRowsAppended   = "rows_appended"
+	CounterStatesMerged   = "states_merged"
+	CounterWindowsExpired = "windows_expired"
 )
 
 // Gauge names. Gauges record the last value set.

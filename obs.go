@@ -70,10 +70,13 @@ const (
 
 	CounterCompressedBytesRead  = obs.CounterCompressedBytesRead
 	CounterSpillBytesCompressed = obs.CounterSpillBytesCompressed
-	CounterIORetries        = obs.CounterIORetries
-	CounterFaultsInjected   = obs.CounterFaultsInjected
-	CounterPackedWords      = obs.CounterPackedWords
-	CounterPackedBatches    = obs.CounterPackedBatches
+	CounterIORetries            = obs.CounterIORetries
+	CounterFaultsInjected       = obs.CounterFaultsInjected
+	CounterPackedWords          = obs.CounterPackedWords
+	CounterPackedBatches        = obs.CounterPackedBatches
+	CounterRowsAppended         = obs.CounterRowsAppended
+	CounterStatesMerged         = obs.CounterStatesMerged
+	CounterWindowsExpired       = obs.CounterWindowsExpired
 
 	GaugeSignatureWorkers = obs.GaugeSignatureWorkers
 	GaugeCandidateWorkers = obs.GaugeCandidateWorkers

@@ -35,6 +35,7 @@ type Progress struct {
 // here); cfg.K must be at least R*L. cfg.Workers parallelises the
 // signature pass and each band's verification; the banding itself
 // stays band-at-a-time — that ordering is the point of the API.
+// cfg.Window restricts the run to the trailing rows, like SimilarPairs.
 func ProgressiveSimilarPairs(d *Dataset, cfg Config, fn func(Progress) bool) (*Result, error) {
 	if cfg.Algorithm != MinLSH && cfg.Algorithm != BruteForce {
 		return nil, fmt.Errorf("assocmine: progressive mining requires MinLSH, got %v", cfg.Algorithm)
@@ -53,10 +54,27 @@ func ProgressiveSimilarPairs(d *Dataset, cfg Config, fn func(Progress) bool) (*R
 	inner := obs.NewCollector()
 	rec := obs.Tee(inner, cfg.Recorder)
 	prog := newProgressSink(cfg.Progress)
+	// windowFrom > 0 restricts every pass to the trailing cfg.Window
+	// rows; the tail wrapper also hides the fast-path interfaces, so
+	// the signature pass falls to the streamed fold over the window.
+	windowFrom := 0
+	if cfg.Window > 0 {
+		if from := d.NumRows() - cfg.Window; from > 0 {
+			windowFrom = from
+		}
+	}
+	rowSrc := func() matrix.RowSource {
+		src := matrix.RowSource(d.m.Stream())
+		if windowFrom > 0 {
+			src = &matrix.TailSource{Src: src, From: windowFrom}
+		}
+		return src
+	}
 	stick := prog.enter(PhaseSignatures)
 	endSig := phaseSpan(rec, PhaseSignatures)
 	start := time.Now()
-	sig, _, err := computeMH(d.m.Stream(), d.m.Stream(), func() (*matrix.Matrix, error) { return d.m, nil }, cfg, stick)
+	sigSrc := rowSrc()
+	sig, _, err := computeMH(sigSrc, sigSrc, func() (*matrix.Matrix, error) { return d.m, nil }, cfg, stick)
 	if err != nil {
 		return nil, err
 	}
@@ -76,7 +94,7 @@ func ProgressiveSimilarPairs(d *Dataset, cfg Config, fn func(Progress) bool) (*R
 		if len(fresh) > 0 {
 			verifyPasses++ // ExactPairs scans the data only for non-empty batches
 		}
-		verified, vst, err := verify.ExactPairsParallel(d.m.Stream(), fresh, cfg.Threshold, cfg.Workers)
+		verified, vst, err := verify.ExactPairsParallel(rowSrc(), fresh, cfg.Threshold, cfg.Workers)
 		st.VerifyTime += time.Since(vstart)
 		if err != nil {
 			innerErr = err
@@ -105,7 +123,7 @@ func ProgressiveSimilarPairs(d *Dataset, cfg Config, fn func(Progress) bool) (*R
 	st.CandidateTime = time.Since(start) - st.SignatureTime - st.VerifyTime
 	st.Verified = len(all)
 	st.DataPasses = 1 + verifyPasses // signature pass + per-band verify passes
-	st.RowsScanned = int64(st.DataPasses) * int64(d.NumRows())
+	st.RowsScanned = int64(st.DataPasses) * int64(d.NumRows()-windowFrom)
 	// The candidate and verify phases interleave band by band, so their
 	// spans are reported once at completion with the accumulated
 	// durations (the same values Stats records).

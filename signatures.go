@@ -107,7 +107,8 @@ func LoadSignatures(path string) (*Signatures, error) {
 // precomputed sketch, skipping the signature pass entirely. Supported
 // algorithms: MinHash (Row-Sorting over the sketch) and MinLSH (banding
 // over the sketch; requires R*L <= the sketch's K). Verification still
-// makes one pass over d.
+// makes one pass over d — or over its trailing cfg.Window rows when a
+// sliding window is set, for sketches that cover only that window.
 func SimilarPairsWithSignatures(d *Dataset, s *Signatures, cfg Config) (*Result, error) {
 	if s.sig.M != d.NumCols() {
 		return nil, fmt.Errorf("assocmine: sketch covers %d columns, dataset has %d", s.sig.M, d.NumCols())
@@ -166,6 +167,17 @@ func SimilarPairsWithSignatures(d *Dataset, s *Signatures, cfg Config) (*Result,
 	tick = prog.enter(PhaseVerify)
 	end = phaseSpan(rec, PhaseVerify)
 	vsrc := matrix.RowSource(d.m.Stream())
+	if cfg.Window > 0 {
+		// Verify over the trailing window only — the mode used when the
+		// sketch itself covers a window (e.g. one produced by an Ingest
+		// in sliding-window mode). The tail wrapper hides the in-memory
+		// fast-path interfaces, so the packed and parallel kernels fall
+		// to plain scans that see only the window's rows; ids are
+		// preserved, so candidate pairs from the sketch line up.
+		if from := d.NumRows() - cfg.Window; from > 0 {
+			vsrc = &matrix.TailSource{Src: vsrc, From: from}
+		}
+	}
 	if cfg.Context != nil {
 		vsrc = matrix.WithContext(cfg.Context, vsrc)
 	}
@@ -200,7 +212,11 @@ func SimilarPairsWithSignatures(d *Dataset, s *Signatures, cfg Config) (*Result,
 	st.Verified = len(verified)
 	st.FalsePositives = st.Candidates - st.Verified
 	st.DataPasses = 1
-	st.RowsScanned = int64(d.NumRows())
+	scanned := d.NumRows()
+	if cfg.Window > 0 && cfg.Window < scanned {
+		scanned = cfg.Window
+	}
+	st.RowsScanned = int64(scanned)
 	rec.Add(obs.CounterPairsVerified, int64(st.Verified))
 	rec.Add(obs.CounterFalsePositives, int64(st.FalsePositives))
 	rec.Add(obs.CounterDataPasses, 1)

@@ -1,0 +1,200 @@
+package assocmine
+
+import (
+	"fmt"
+	"os"
+
+	"assocmine/internal/candidate"
+	"assocmine/internal/kminhash"
+	"assocmine/internal/matrix"
+	"assocmine/internal/obs"
+	"assocmine/internal/pairs"
+	"assocmine/internal/verify"
+)
+
+// Sketches is a precomputed bottom-k (K-MH) sketch of a dataset — the
+// K-MinHash counterpart of Signatures. Computing the sketch is the
+// expensive full-scan phase; a persisted sketch can be reused across
+// queries with different thresholds, paying only the in-memory
+// candidate phase plus one verification pass per query.
+type Sketches struct {
+	sk   *kminhash.Sketches
+	seed uint64
+	rows int // dataset row count, -1 when unknown (loaded sketches)
+}
+
+// ComputeSketches runs the K-MH phase-1 scan once. Workers follow the
+// Config.Workers semantic: 0 or 1 serial, negative GOMAXPROCS, > 1
+// parallel — with identical sketch content either way.
+func ComputeSketches(d *Dataset, k int, seed uint64, workers int) (*Sketches, error) {
+	var (
+		sk  *kminhash.Sketches
+		err error
+	)
+	if workers = normalizeWorkers(workers); workers > 1 {
+		sk, err = kminhash.ComputeParallel(d.m, k, seed, workers)
+	} else {
+		sk, err = kminhash.Compute(d.m.Stream(), k, seed)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Sketches{sk: sk, seed: seed, rows: d.NumRows()}, nil
+}
+
+// K returns the sketch size bound (columns smaller than K keep all
+// their values).
+func (s *Sketches) K() int { return s.sk.K }
+
+// NumCols returns the number of columns sketched.
+func (s *Sketches) NumCols() int { return len(s.sk.Sigs) }
+
+// Seed returns the seed the sketch was computed with.
+func (s *Sketches) Seed() uint64 { return s.seed }
+
+// Estimate returns the unbiased union-signature similarity estimate for
+// columns i and j (Theorem 2).
+func (s *Sketches) Estimate(i, j int) float64 { return s.sk.UnbiasedEstimate(i, j) }
+
+// Save persists the sketch in the compressed KMC1 format (each value
+// stored as its row id in a few bits), loading back bit-identical
+// through LoadSketches. Only sketches whose dataset row count is known
+// (ComputeSketches, Ingest) can be saved; loaded sketches cannot be
+// re-saved.
+func (s *Sketches) Save(path string) error {
+	if s.rows < 0 {
+		return fmt.Errorf("assocmine: sketch row count unknown; only sketches from ComputeSketches can be saved")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = s.sk.WriteCompressed(f, s.seed, s.rows)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// LoadSketches reads a sketch written by Save.
+func LoadSketches(path string) (*Sketches, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sk, seed, err := kminhash.ReadSketches(f)
+	if err != nil {
+		return nil, err
+	}
+	return &Sketches{sk: sk, seed: seed, rows: -1}, nil
+}
+
+// SimilarPairsWithSketches answers a KMinHash similar-pairs query from
+// a precomputed bottom-k sketch, skipping the signature pass entirely
+// (cfg.Algorithm must be KMinHash or left zero — it is forced).
+// Verification still makes one pass over d — or over its trailing
+// cfg.Window rows when a sliding window is set, for sketches that cover
+// only that window.
+func SimilarPairsWithSketches(d *Dataset, s *Sketches, cfg Config) (*Result, error) {
+	if len(s.sk.Sigs) != d.NumCols() {
+		return nil, fmt.Errorf("assocmine: sketch covers %d columns, dataset has %d", len(s.sk.Sigs), d.NumCols())
+	}
+	if cfg.Algorithm != KMinHash && cfg.Algorithm != BruteForce {
+		return nil, fmt.Errorf("assocmine: precomputed bottom-k sketches support KMinHash, got %v", cfg.Algorithm)
+	}
+	cfg.Algorithm = KMinHash
+	cfg.K = s.sk.K
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	st := Stats{Algorithm: KMinHash, SignatureWorkers: 1, CandidateWorkers: 1, VerifyWorkers: 1}
+	inner := obs.NewCollector()
+	rec := obs.Tee(inner, cfg.Recorder)
+	prog := newProgressSink(cfg.Progress)
+	// The signature phase was paid when the sketch was computed; the
+	// gauge still reports the sketch's resident size.
+	var cells int64
+	for _, sig := range s.sk.Sigs {
+		cells += int64(len(sig))
+	}
+	rec.SetGauge(obs.GaugeSignatureBytes, cells*8)
+	tick := prog.enter(PhaseCandidates)
+	end := phaseSpan(rec, PhaseCandidates)
+	cutoff := (1 - cfg.Delta) * cfg.Threshold
+	opt := candidate.KMHOptions{
+		BiasedCutoff:   cutoff / 2, // biased estimator under-counts; be generous
+		UnbiasedCutoff: cutoff,
+	}
+	cand, cst, err := candidate.HashCountKMHParallelProgress(cfg.context(), s.sk, opt, cfg.Workers, tick)
+	if err != nil {
+		return nil, err
+	}
+	rec.Add(obs.CounterIncrements, cst.Increments)
+	st.CandidateTime = end()
+	st.CandidateWorkers = cfg.Workers
+	rec.SetGauge(obs.GaugeCandidateWorkers, int64(cfg.Workers))
+	prog.finish(PhaseCandidates)
+	st.Candidates = len(cand)
+	rec.Add(obs.CounterCandidates, int64(st.Candidates))
+	if cfg.SkipVerify {
+		pairs.SortScored(cand)
+		st.fillFrom(inner)
+		return &Result{Pairs: toPairs(cand, false), Stats: st}, nil
+	}
+	tick = prog.enter(PhaseVerify)
+	end = phaseSpan(rec, PhaseVerify)
+	vsrc := matrix.RowSource(d.m.Stream())
+	if cfg.Window > 0 {
+		// The tail wrapper hides the in-memory fast-path interfaces, so
+		// the kernels below fall to plain scans over the window's rows.
+		if from := d.NumRows() - cfg.Window; from > 0 {
+			vsrc = &matrix.TailSource{Src: vsrc, From: from}
+		}
+	}
+	if cfg.Context != nil {
+		vsrc = matrix.WithContext(cfg.Context, vsrc)
+	}
+	var verified []pairs.Scored
+	var vst verify.Stats
+	if cfg.VerifyKernel == KernelPacked ||
+		(cfg.VerifyKernel == KernelAuto && verify.AutoPack(d.NumRows(), d.NumCols(), cand, 0)) {
+		// The packed pass ticks candidate pairs itself, so vsrc keeps
+		// its row-granularity wrapper off.
+		verified, vst, err = verify.ExactPacked(vsrc, cand, cfg.Threshold, verify.PackedOptions{
+			Workers: cfg.Workers,
+			Context: cfg.Context,
+			Tick:    tick,
+		})
+	} else {
+		if tick != nil {
+			vsrc = &matrix.ProgressSource{Src: vsrc, Tick: tick}
+		}
+		verified, vst, err = verify.ExactParallel(vsrc, cand, cfg.Threshold, cfg.Workers)
+	}
+	if err != nil {
+		return nil, err
+	}
+	st.VerifyTime = end()
+	st.VerifyWorkers = cfg.Workers
+	rec.SetGauge(obs.GaugeVerifyWorkers, int64(cfg.Workers))
+	rec.Add(obs.CounterVerifyTouches, vst.Touches)
+	addNonzero(rec, obs.CounterPackedWords, vst.PackedWords)
+	addNonzero(rec, obs.CounterPackedBatches, vst.PackedBatches)
+	prog.finish(PhaseVerify)
+	st.Verified = len(verified)
+	st.FalsePositives = st.Candidates - st.Verified
+	st.DataPasses = 1
+	scanned := d.NumRows()
+	if cfg.Window > 0 && cfg.Window < scanned {
+		scanned = cfg.Window
+	}
+	st.RowsScanned = int64(scanned)
+	rec.Add(obs.CounterPairsVerified, int64(st.Verified))
+	rec.Add(obs.CounterFalsePositives, int64(st.FalsePositives))
+	rec.Add(obs.CounterDataPasses, 1)
+	rec.Add(obs.CounterRowsScanned, st.RowsScanned)
+	st.fillFrom(inner)
+	pairs.SortScored(verified)
+	return &Result{Pairs: toPairs(verified, true), Stats: st}, nil
+}
