@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check statcheck streamcheck chaoscheck packedcheck compresscheck incrcheck race race-all vet fmt bench bench-json benchdiff experiments experiments-full fuzz clean
+.PHONY: all build test check statcheck streamcheck chaoscheck packedcheck compresscheck incrcheck servecheck race race-all vet fmt bench bench-json benchdiff experiments experiments-full serve-bench serve-benchdiff fuzz clean
 
 all: build vet test
 
@@ -12,7 +12,7 @@ build:
 test:
 	$(GO) test ./...
 
-check: build vet test race statcheck streamcheck chaoscheck packedcheck compresscheck incrcheck
+check: build vet test race statcheck streamcheck chaoscheck packedcheck compresscheck incrcheck servecheck
 
 # The statistical-accuracy suite (recall / false-positive-rate bounds
 # on seeded synthetic matrices; deterministic).
@@ -65,6 +65,13 @@ incrcheck:
 	$(GO) test -race -run 'TestMerge|TestFoldState|TestComputeStream' ./internal/minhash ./internal/kminhash
 	$(GO) test -race -run 'TestDistributeShards|TestTailSource' ./internal/matrix
 	$(GO) test -race -run 'TestGoldenIncremental|TestIncrCLI' ./cmd/assocfind
+
+# The resident-service suite under the race detector: concurrent
+# clients byte-identical to direct library calls, 1000 queries held in
+# flight, shutdown draining, hot refresh under load, golden HTTP
+# responses, and the query planner.
+servecheck:
+	$(GO) test -race ./internal/serve ./cmd/assocserve
 
 # Race-detect the packages with concurrent code paths (fast); race-all
 # covers the whole tree.
@@ -121,6 +128,23 @@ fuzz:
 	$(GO) test . -fuzz FuzzOpenFileDataset -fuzztime 10s
 	$(GO) test ./internal/faultfs -fuzz FuzzPlanRowBinary -fuzztime 10s
 	$(GO) test ./internal/verify -fuzz FuzzPackedVsScalar -fuzztime 10s
+	$(GO) test ./internal/serve -fuzz FuzzHTTPQuery -fuzztime 10s
+	$(GO) test ./internal/serve -fuzz FuzzParseExpr -fuzztime 10s
+
+# Re-measure the serving path (1000 concurrent clients over the
+# in-process handler) into BENCH_serve.json.
+serve-bench:
+	$(GO) run ./cmd/serveload -out BENCH_serve.json
+
+# Re-drive the load harness and fail on regression against the
+# committed BENCH_serve.json (errors, p99, QPS, leaks). `make
+# serve-benchdiff UPDATE=1` accepts the fresh numbers instead.
+serve-benchdiff:
+ifdef UPDATE
+	$(GO) run ./cmd/serveload -against BENCH_serve.json -update -out BENCH_serve.json
+else
+	$(GO) run ./cmd/serveload -against BENCH_serve.json -out /dev/null
+endif
 
 clean:
-	rm -rf internal/matrix/testdata/fuzz internal/faultfs/testdata/fuzz
+	rm -rf internal/matrix/testdata/fuzz internal/faultfs/testdata/fuzz internal/serve/testdata/fuzz

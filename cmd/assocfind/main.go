@@ -421,18 +421,12 @@ func startDiagnostics(o options) (func(), error) {
 }
 
 // serveMetrics exposes the collector on addr for the duration of the
-// run: /metrics in Prometheus text format, /debug/vars via expvar.
+// run: /metrics in Prometheus text format, /debug/vars via expvar. The
+// handlers come from the shared registration helper assocserve uses,
+// so the export wiring exists exactly once.
 func serveMetrics(addr string, coll *assocmine.Collector) error {
-	assocmine.PublishMetrics("assocmine", coll)
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		_ = assocmine.WriteMetrics(w, coll)
-	})
-	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(w, "{\"assocmine\": %s}\n", assocmine.ExpvarString(coll))
-	})
+	assocmine.RegisterMetricsHTTP(mux, "assocmine", coll)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err

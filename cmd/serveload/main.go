@@ -1,0 +1,511 @@
+// Command serveload drives the resident similarity service with
+// thousands of concurrent requests and reports latency percentiles,
+// throughput, and leak counters, with a regression gate against a
+// committed baseline.
+//
+// By default it builds the server in-process over a synthetic dataset
+// and drives its handler directly — no sockets, so the numbers measure
+// the serving path, not the loopback stack. With -http it starts a
+// real listener and drives it over TCP; with -addr it targets an
+// already-running assocserve.
+//
+// Usage:
+//
+//	serveload -out BENCH_serve.json
+//	serveload -concurrency 1000 -requests 20000 -http
+//	serveload -against BENCH_serve.json          # fail on regression
+//	serveload -against BENCH_serve.json -update  # refresh the baseline
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"assocmine"
+	"assocmine/internal/serve"
+)
+
+// Gate thresholds vs the -against baseline. Latency on shared machines
+// jitters far more than CPU benchmarks, so the bounds are generous:
+// the gate is for catching a serialized handler or a leak, not 10%
+// noise.
+const (
+	p99Tolerance = 3.0 // p99 may grow at most 3x
+	qpsTolerance = 3.0 // throughput may shrink at most 3x
+)
+
+type percentiles struct {
+	Count int   `json:"count"`
+	P50us int64 `json:"p50_us"`
+	P90us int64 `json:"p90_us"`
+	P99us int64 `json:"p99_us"`
+	MaxUs int64 `json:"max_us"`
+}
+
+type report struct {
+	Rows        int    `json:"rows"`
+	Cols        int    `json:"cols"`
+	NumCPU      int    `json:"numcpu"`
+	Gomaxprocs  int    `json:"gomaxprocs"`
+	Concurrency int    `json:"concurrency"`
+	Requests    int    `json:"requests"`
+	Transport   string `json:"transport"`
+	Mix         string `json:"mix"`
+
+	Errors int64   `json:"errors"`
+	QPS    float64 `json:"qps"`
+	// MaxInflight is the server's in-flight gauge high-water mark
+	// (sampled; in-process transports only). It is a lower bound: on a
+	// TCP transport with few CPUs, requests serialize in the netpoller
+	// before entering the handler, so the gauge can read near zero even
+	// under heavy client concurrency. MaxOutstanding is the exact
+	// client-side watermark of concurrently outstanding requests.
+	MaxInflight    int64 `json:"max_inflight"`
+	MaxOutstanding int64 `json:"max_outstanding"`
+
+	// Latency per query kind plus "all" across every request.
+	LatencyUs map[string]percentiles `json:"latency_us"`
+
+	// Leak counters: goroutines and open FDs before the run vs after
+	// shutdown. After settles to before when nothing leaks.
+	GoroutinesBefore int `json:"goroutines_before"`
+	GoroutinesAfter  int `json:"goroutines_after"`
+	FDsBefore        int `json:"fds_before"`
+	FDsAfter         int `json:"fds_after"`
+}
+
+type config struct {
+	in          string
+	rows, cols  int
+	addr        string
+	httpMode    bool
+	concurrency int
+	requests    int
+	mix         string
+	workers     int
+	seed        uint64
+}
+
+func main() {
+	var (
+		cfg     config
+		out     = flag.String("out", "BENCH_serve.json", "write the JSON report here ('-' for stdout)")
+		against = flag.String("against", "", "baseline report to gate against: errors must be 0, p99 may grow at most 3x, QPS may shrink at most 3x")
+		update  = flag.Bool("update", false, "with -against: rewrite the baseline instead of failing on regression")
+	)
+	flag.StringVar(&cfg.in, "in", "", "dataset file; empty = synthetic")
+	flag.IntVar(&cfg.rows, "rows", 2000, "synthetic dataset rows")
+	flag.IntVar(&cfg.cols, "cols", 64, "synthetic dataset columns")
+	flag.StringVar(&cfg.addr, "addr", "", "target an already-running assocserve at this address instead of serving in-process")
+	flag.BoolVar(&cfg.httpMode, "http", false, "in-process: start a real TCP listener and drive it over sockets")
+	flag.IntVar(&cfg.concurrency, "concurrency", 1000, "concurrent client workers")
+	flag.IntVar(&cfg.requests, "requests", 20000, "total requests across all workers")
+	flag.StringVar(&cfg.mix, "mix", "pairs=4,topk=4,expr=3,toppairs=1", "query mix as kind=weight pairs (kinds: pairs, topk, toppairs, expr, rules)")
+	flag.IntVar(&cfg.workers, "workers", 1, "in-process: server per-query worker budget")
+	flag.Uint64Var(&cfg.seed, "seed", 1, "synthetic dataset / index seed")
+	flag.Parse()
+
+	rep, err := run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serveload:", err)
+		os.Exit(1)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serveload:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+	} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "serveload:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "serveload: %d requests, %d errors, %.0f qps, p99(all) %dus, max inflight %d, max outstanding %d\n",
+		rep.Requests, rep.Errors, rep.QPS, rep.LatencyUs["all"].P99us, rep.MaxInflight, rep.MaxOutstanding)
+	if *against != "" {
+		if err := gate(*against, rep, buf, *update); err != nil {
+			fmt.Fprintln(os.Stderr, "serveload:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// query is one request template in the mix.
+type query struct {
+	kind string
+	path string
+	body string
+}
+
+// buildMix expands "pairs=4,topk=4" into a weighted round-robin
+// schedule of request templates.
+func buildMix(mix string, cols int) ([]query, error) {
+	templates := map[string]query{
+		"pairs":    {kind: "pairs", path: "/v1/pairs", body: `{"threshold":0.7}`},
+		"topk":     {kind: "topk", path: "/v1/topk", body: fmt.Sprintf(`{"col":%d,"k":5,"floor":0.5}`, cols/2)},
+		"toppairs": {kind: "toppairs", path: "/v1/toppairs", body: `{"n":10,"floor":0.5}`},
+		"expr":     {kind: "expr", path: "/v1/expr", body: `{"op":"similarity","a":"0|2","b":"1"}`},
+		"rules":    {kind: "rules", path: "/v1/rules", body: `{"min_confidence":0.9}`},
+	}
+	var sched []query
+	for _, part := range strings.Split(mix, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		tpl, ok := templates[kv[0]]
+		if !ok {
+			return nil, fmt.Errorf("unknown query kind %q in -mix", kv[0])
+		}
+		w := 1
+		if len(kv) == 2 {
+			var err error
+			if w, err = strconv.Atoi(kv[1]); err != nil || w < 0 {
+				return nil, fmt.Errorf("bad weight %q in -mix", kv[1])
+			}
+		}
+		for i := 0; i < w; i++ {
+			sched = append(sched, tpl)
+		}
+	}
+	if len(sched) == 0 {
+		return nil, fmt.Errorf("-mix %q selects no queries", mix)
+	}
+	return sched, nil
+}
+
+// poster abstracts the three transports: direct handler calls,
+// in-process TCP, and a remote server.
+type poster func(path, body string) (int, error)
+
+func run(cfg config) (*report, error) {
+	rep := &report{
+		NumCPU:      runtime.NumCPU(),
+		Gomaxprocs:  runtime.GOMAXPROCS(0),
+		Concurrency: cfg.concurrency,
+		Requests:    cfg.requests,
+		Mix:         cfg.mix,
+		LatencyUs:   map[string]percentiles{},
+	}
+
+	var (
+		srv  *serve.Server
+		post poster
+	)
+	if cfg.addr != "" {
+		rep.Transport = "remote"
+		post = httpPoster("http://"+cfg.addr, cfg.concurrency)
+	} else {
+		var data *assocmine.Dataset
+		var err error
+		if cfg.in != "" {
+			data, err = assocmine.LoadDataset(cfg.in)
+		} else {
+			data, err = synthetic(cfg.rows, cfg.cols, cfg.seed)
+		}
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows, rep.Cols = data.NumRows(), data.NumCols()
+		srv, err = serve.New(data, serve.Options{Workers: cfg.workers, Seed: cfg.seed})
+		if err != nil {
+			return nil, err
+		}
+		if cfg.httpMode {
+			rep.Transport = "tcp"
+			addr, err := srv.Start("127.0.0.1:0")
+			if err != nil {
+				return nil, err
+			}
+			post = httpPoster("http://"+addr.String(), cfg.concurrency)
+		} else {
+			rep.Transport = "handler"
+			h := srv.Handler()
+			post = func(path, body string) (int, error) {
+				rr := httptest.NewRecorder()
+				req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+				h.ServeHTTP(rr, req)
+				return rr.Code, nil
+			}
+		}
+	}
+
+	cols := cfg.cols
+	if rep.Cols > 0 {
+		cols = rep.Cols
+	}
+	sched, err := buildMix(cfg.mix, cols)
+	if err != nil {
+		return nil, err
+	}
+
+	// Warm-up: one of each query before the leak counters are read, so
+	// lazily-initialised runtime state (the netpoller's epoll FDs, the
+	// HTTP client's first connection) isn't mistaken for a leak.
+	for _, q := range sched {
+		if code, err := post(q.path, q.body); err != nil || code != http.StatusOK {
+			return nil, fmt.Errorf("warm-up %s failed: code %d, err %v", q.path, code, err)
+		}
+	}
+	rep.GoroutinesBefore = runtime.NumGoroutine()
+	rep.FDsBefore = openFDs()
+
+	// The shared request counter hands out one schedule slot per
+	// request; per-kind latencies are collected into per-worker slices
+	// and merged afterwards, so the hot loop takes no locks.
+	type sample struct {
+		kind string
+		us   int64
+	}
+	var (
+		next           atomic.Int64
+		errorsN        atomic.Int64
+		maxInflight    atomic.Int64
+		outstanding    atomic.Int64
+		maxOutstanding atomic.Int64
+		wg             sync.WaitGroup
+	)
+	perWorker := make([][]sample, cfg.concurrency)
+
+	// Inflight watermark, sampled from the server when in-process.
+	stopWatch := make(chan struct{})
+	var watchWG sync.WaitGroup
+	if srv != nil {
+		watchWG.Add(1)
+		go func() {
+			defer watchWG.Done()
+			for {
+				select {
+				case <-stopWatch:
+					return
+				default:
+				}
+				if n := srv.Inflight(); n > maxInflight.Load() {
+					maxInflight.Store(n)
+				}
+				time.Sleep(100 * time.Microsecond)
+			}
+		}()
+	}
+
+	// All workers spawn first and start together, so the full
+	// concurrency level is reached during the ramp, not trickled.
+	begin := make(chan struct{})
+	for w := 0; w < cfg.concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-begin
+			samples := make([]sample, 0, cfg.requests/cfg.concurrency+1)
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(cfg.requests) {
+					break
+				}
+				q := sched[int(i)%len(sched)]
+				cur := outstanding.Add(1)
+				for {
+					max := maxOutstanding.Load()
+					if cur <= max || maxOutstanding.CompareAndSwap(max, cur) {
+						break
+					}
+				}
+				t0 := time.Now()
+				code, err := post(q.path, q.body)
+				us := time.Since(t0).Microseconds()
+				outstanding.Add(-1)
+				if err != nil || code != http.StatusOK {
+					errorsN.Add(1)
+					continue
+				}
+				samples = append(samples, sample{kind: q.kind, us: us})
+			}
+			perWorker[w] = samples
+		}(w)
+	}
+	start := time.Now()
+	close(begin)
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(stopWatch)
+	watchWG.Wait()
+
+	rep.Errors = errorsN.Load()
+	rep.QPS = float64(cfg.requests) / elapsed.Seconds()
+	rep.MaxInflight = maxInflight.Load()
+	rep.MaxOutstanding = maxOutstanding.Load()
+
+	byKind := map[string][]int64{}
+	var all []int64
+	for _, samples := range perWorker {
+		for _, s := range samples {
+			byKind[s.kind] = append(byKind[s.kind], s.us)
+			all = append(all, s.us)
+		}
+	}
+	for kind, vals := range byKind {
+		rep.LatencyUs[kind] = summarize(vals)
+	}
+	rep.LatencyUs["all"] = summarize(all)
+
+	if srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return nil, fmt.Errorf("shutdown: %w", err)
+		}
+	}
+	// Give pooled connections and drained goroutines a moment to die
+	// before counting them.
+	settle := time.Now().Add(5 * time.Second)
+	for time.Now().Before(settle) {
+		rep.GoroutinesAfter = runtime.NumGoroutine()
+		rep.FDsAfter = openFDs()
+		if rep.GoroutinesAfter <= rep.GoroutinesBefore && rep.FDsAfter <= rep.FDsBefore {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return rep, nil
+}
+
+// synthetic builds the deterministic correlated dataset the serve test
+// suite uses, scaled to the requested size.
+func synthetic(rows, cols int, seed uint64) (*assocmine.Dataset, error) {
+	state := seed
+	rnd := func() float64 {
+		// splitmix64, mapped to [0,1).
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		return float64(z>>11) / float64(1<<53)
+	}
+	data := make([][]int, rows)
+	for r := range data {
+		var row []int
+		for c := 0; c+1 < cols; c += 2 {
+			p := 0.03 + 0.05*float64(c%7)/7
+			if rnd() < p {
+				row = append(row, c)
+				if rnd() < float64((c/2)%11)/10 {
+					row = append(row, c+1)
+				}
+			} else if rnd() < 0.008 {
+				row = append(row, c+1)
+			}
+		}
+		data[r] = row
+	}
+	return assocmine.NewDatasetFromRows(cols, data)
+}
+
+func httpPoster(base string, concurrency int) poster {
+	tr := &http.Transport{
+		MaxIdleConns:        concurrency,
+		MaxIdleConnsPerHost: concurrency,
+	}
+	client := &http.Client{Transport: tr, Timeout: 2 * time.Minute}
+	return func(path, body string) (int, error) {
+		resp, err := client.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, nil
+	}
+}
+
+func summarize(vals []int64) percentiles {
+	if len(vals) == 0 {
+		return percentiles{}
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	at := func(q float64) int64 {
+		i := int(q * float64(len(vals)-1))
+		return vals[i]
+	}
+	return percentiles{
+		Count: len(vals),
+		P50us: at(0.50),
+		P90us: at(0.90),
+		P99us: at(0.99),
+		MaxUs: vals[len(vals)-1],
+	}
+}
+
+// openFDs counts this process's open file descriptors via /proc; -1
+// when unavailable (non-Linux).
+func openFDs() int {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return -1
+	}
+	return len(ents)
+}
+
+// gate enforces the regression bounds against a committed baseline.
+func gate(path string, rep *report, buf []byte, update bool) error {
+	want, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) && update {
+			return os.WriteFile(path, buf, 0o644)
+		}
+		return err
+	}
+	var base report
+	if err := json.Unmarshal(want, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	var problems []string
+	if rep.Errors != 0 {
+		problems = append(problems, fmt.Sprintf("%d request errors (baseline requires 0)", rep.Errors))
+	}
+	if basep99 := base.LatencyUs["all"].P99us; basep99 > 0 {
+		if got := rep.LatencyUs["all"].P99us; float64(got) > float64(basep99)*p99Tolerance {
+			problems = append(problems, fmt.Sprintf("p99(all) %dus > %.0fx baseline %dus", got, p99Tolerance, basep99))
+		}
+	}
+	if base.QPS > 0 && rep.QPS < base.QPS/qpsTolerance {
+		problems = append(problems, fmt.Sprintf("QPS %.0f < baseline %.0f / %.0f", rep.QPS, base.QPS, qpsTolerance))
+	}
+	if rep.GoroutinesAfter > rep.GoroutinesBefore {
+		problems = append(problems, fmt.Sprintf("goroutines leaked: %d -> %d", rep.GoroutinesBefore, rep.GoroutinesAfter))
+	}
+	if rep.FDsBefore >= 0 && rep.FDsAfter > rep.FDsBefore {
+		problems = append(problems, fmt.Sprintf("file descriptors leaked: %d -> %d", rep.FDsBefore, rep.FDsAfter))
+	}
+	if len(problems) == 0 {
+		fmt.Fprintf(os.Stderr, "serveload: within bounds of %s\n", path)
+		if update {
+			return os.WriteFile(path, buf, 0o644)
+		}
+		return nil
+	}
+	for _, p := range problems {
+		fmt.Fprintf(os.Stderr, "serveload: REGRESSION: %s\n", p)
+	}
+	if update {
+		fmt.Fprintf(os.Stderr, "serveload: -update set, rewriting %s with fresh numbers\n", path)
+		return os.WriteFile(path, buf, 0o644)
+	}
+	return fmt.Errorf("%d regression(s) vs %s (rerun with -update to accept)", len(problems), path)
+}

@@ -59,6 +59,17 @@ func NewExprEvaluator(d *Dataset, k int, seed uint64) (*ExprEvaluator, error) {
 	return &ExprEvaluator{ev: boolexpr.NewEvaluator(s)}, nil
 }
 
+// NewExprEvaluatorFromSketches builds an evaluator over a resident
+// bottom-k sketch (ComputeSketches, LoadSketches, or Ingest.Sketches),
+// skipping the sketch pass entirely — the serving-layer path, where
+// one warm sketch answers every expression query.
+func NewExprEvaluatorFromSketches(s *Sketches) *ExprEvaluator {
+	return &ExprEvaluator{ev: boolexpr.NewEvaluator(s.sk)}
+}
+
+// NumCols returns the number of columns the evaluator's sketch covers.
+func (e *ExprEvaluator) NumCols() int { return e.ev.NumCols() }
+
 // Cardinality estimates the number of rows satisfying x.
 func (e *ExprEvaluator) Cardinality(x BoolExpr) (float64, error) {
 	return e.ev.Cardinality(x.e)

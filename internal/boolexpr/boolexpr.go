@@ -54,6 +54,9 @@ func NewEvaluator(s *kminhash.Sketches) *Evaluator {
 	return &Evaluator{s: s}
 }
 
+// NumCols returns the number of columns the sketches cover.
+func (e *Evaluator) NumCols() int { return len(e.s.Sigs) }
+
 // Validate checks an expression against the sketched column range and
 // the structural restrictions.
 func (e *Evaluator) Validate(x Expr) error {

@@ -1,0 +1,370 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"time"
+
+	"assocmine"
+	"assocmine/internal/obs"
+)
+
+// defaultTopFloor bounds the descending top-k threshold search from
+// below when the request sets no floor.
+const defaultTopFloor = 0.05
+
+// topStartThreshold is where the descending search starts (matches the
+// library default).
+const topStartThreshold = 0.9
+
+func (s *Server) buildMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	obs.RegisterHTTP(mux, "assocserve", s.coll)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.Handle("/v1/pairs", s.endpoint("pairs", s.handlePairs))
+	mux.Handle("/v1/topk", s.endpoint("topk", s.handleTopK))
+	mux.Handle("/v1/toppairs", s.endpoint("toppairs", s.handleTopPairs))
+	mux.Handle("/v1/rules", s.endpoint("rules", s.handleRules))
+	mux.Handle("/v1/expr", s.endpoint("expr", s.handleExpr))
+	mux.Handle("/v1/refresh", s.endpoint("refresh", s.handleRefresh))
+	return mux
+}
+
+// httpError is a handler failure: a status plus a client-safe message,
+// serialised as ErrorResponse by the endpoint wrapper.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func badRequest(err error) *httpError {
+	return &httpError{status: http.StatusBadRequest, msg: err.Error()}
+}
+
+// queryFailure maps an execution error (after validation passed) to a
+// status: budget exhaustion is the caller's 504, everything else a 500.
+func queryFailure(err error) *httpError {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return &httpError{status: http.StatusGatewayTimeout, msg: "query exceeded its time budget"}
+	case errors.Is(err, context.Canceled):
+		return &httpError{status: http.StatusRequestTimeout, msg: "query canceled"}
+	default:
+		return &httpError{status: http.StatusInternalServerError, msg: err.Error()}
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// endpoint wraps a query handler with the serving policy shared by
+// every /v1 route: POST only, drain-aware in-flight registration,
+// per-endpoint query/error counters and a latency span.
+func (s *Server) endpoint(name string, h func(http.ResponseWriter, *http.Request) *httpError) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		if !s.enter() {
+			writeError(w, http.StatusServiceUnavailable, "server is draining")
+			return
+		}
+		defer s.leave()
+		if s.queryGate != nil {
+			s.queryGate(name)
+		}
+		s.coll.Add("queries_"+name, 1)
+		start := time.Now()
+		herr := h(w, r)
+		s.coll.PhaseEnd("serve_"+name, time.Since(start))
+		if herr != nil {
+			s.coll.Add("query_errors", 1)
+			writeError(w, herr.status, herr.msg)
+		}
+	})
+}
+
+// readBody decodes the request body strictly (size-capped, unknown
+// fields and trailing data rejected).
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request, dst any) *httpError {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return &httpError{status: http.StatusRequestEntityTooLarge, msg: err.Error()}
+		}
+		return badRequest(err)
+	}
+	if err := decodeRequest(body, dst); err != nil {
+		return badRequest(err)
+	}
+	return nil
+}
+
+// runPlan executes a pair-style query against the index the plan
+// selected.
+func runPlan(ix *index, plan Plan, cfg assocmine.Config) (*assocmine.Result, error) {
+	cfg.Algorithm = plan.Algorithm()
+	switch plan.Kind {
+	case PlanMLSHProbe:
+		cfg.R, cfg.L = plan.R, plan.L
+		return assocmine.SimilarPairsWithSignatures(ix.data, ix.sig, cfg)
+	case PlanMHSort:
+		return assocmine.SimilarPairsWithSignatures(ix.data, ix.sig, cfg)
+	default:
+		return assocmine.SimilarPairsWithSketches(ix.data, ix.sk, cfg)
+	}
+}
+
+func toPairJSON(ps []assocmine.Pair) []PairJSON {
+	out := make([]PairJSON, len(ps))
+	for i, p := range ps {
+		out[i] = PairJSON{I: p.I, J: p.J, Estimate: p.Estimate, Similarity: p.Similarity}
+	}
+	return out
+}
+
+func (s *Server) handlePairs(w http.ResponseWriter, r *http.Request) *httpError {
+	var q PairsRequest
+	if herr := s.readBody(w, r, &q); herr != nil {
+		return herr
+	}
+	ix := s.index()
+	if err := q.validate(ix.data.NumCols()); err != nil {
+		return badRequest(err)
+	}
+	plan, err := choosePlan(q.Threshold, ix.info(), q.Algo)
+	if err != nil {
+		return badRequest(err)
+	}
+	ctx, cancel := s.queryContext(r, q.TimeoutMS)
+	defer cancel()
+	cfg := s.queryConfig(ctx, q.MemBudget)
+	cfg.Threshold = q.Threshold
+	res, err := runPlan(ix, plan, cfg)
+	if err != nil {
+		return queryFailure(err)
+	}
+	writeJSON(w, http.StatusOK, PairsResponse{
+		Plan:  plan,
+		Count: len(res.Pairs),
+		Pairs: toPairJSON(res.Pairs),
+	})
+	return nil
+}
+
+// topConfig prepares the descending-search config shared by topk and
+// toppairs: start at the standard threshold, or at the floor itself
+// when the caller floors the search above it.
+func topConfig(cfg assocmine.Config, floor float64) assocmine.Config {
+	cfg.Threshold = topStartThreshold
+	if floor > cfg.Threshold {
+		cfg.Threshold = floor
+	}
+	return cfg
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) *httpError {
+	var q TopKRequest
+	if herr := s.readBody(w, r, &q); herr != nil {
+		return herr
+	}
+	ix := s.index()
+	if err := q.validate(ix.data.NumCols(), s.opts.MaxTopK); err != nil {
+		return badRequest(err)
+	}
+	floor := q.Floor
+	if floor == 0 {
+		floor = defaultTopFloor
+	}
+	plan, err := choosePlan(floor, ix.info(), q.Algo)
+	if err != nil {
+		return badRequest(err)
+	}
+	ctx, cancel := s.queryContext(r, q.TimeoutMS)
+	defer cancel()
+	cfg := topConfig(s.queryConfig(ctx, q.MemBudget), floor)
+	var pairs []assocmine.Pair
+	if plan.Kind == PlanKMHScan {
+		pairs, err = assocmine.TopColumnsWithSketches(ix.data, ix.sk, q.Col, q.K, cfg, floor)
+	} else {
+		cfg.Algorithm = plan.Algorithm()
+		cfg.R, cfg.L = plan.R, plan.L
+		pairs, err = assocmine.TopColumnsWithSignatures(ix.data, ix.sig, q.Col, q.K, cfg, floor)
+	}
+	if err != nil {
+		return queryFailure(err)
+	}
+	nbrs := make([]NeighborJSON, len(pairs))
+	for i, p := range pairs {
+		other := p.I
+		if other == q.Col {
+			other = p.J
+		}
+		nbrs[i] = NeighborJSON{Col: other, Estimate: p.Estimate, Similarity: p.Similarity}
+	}
+	writeJSON(w, http.StatusOK, TopKResponse{Plan: plan, Col: q.Col, Neighbors: nbrs})
+	return nil
+}
+
+func (s *Server) handleTopPairs(w http.ResponseWriter, r *http.Request) *httpError {
+	var q TopPairsRequest
+	if herr := s.readBody(w, r, &q); herr != nil {
+		return herr
+	}
+	ix := s.index()
+	if err := q.validate(s.opts.MaxTopK); err != nil {
+		return badRequest(err)
+	}
+	floor := q.Floor
+	if floor == 0 {
+		floor = defaultTopFloor
+	}
+	plan, err := choosePlan(floor, ix.info(), q.Algo)
+	if err != nil {
+		return badRequest(err)
+	}
+	ctx, cancel := s.queryContext(r, q.TimeoutMS)
+	defer cancel()
+	cfg := topConfig(s.queryConfig(ctx, q.MemBudget), floor)
+	var pairs []assocmine.Pair
+	if plan.Kind == PlanKMHScan {
+		pairs, err = assocmine.TopPairsWithSketches(ix.data, ix.sk, q.N, cfg, floor)
+	} else {
+		cfg.Algorithm = plan.Algorithm()
+		cfg.R, cfg.L = plan.R, plan.L
+		pairs, err = assocmine.TopPairsWithSignatures(ix.data, ix.sig, q.N, cfg, floor)
+	}
+	if err != nil {
+		return queryFailure(err)
+	}
+	writeJSON(w, http.StatusOK, PairsResponse{
+		Plan:  plan,
+		Count: len(pairs),
+		Pairs: toPairJSON(pairs),
+	})
+	return nil
+}
+
+func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) *httpError {
+	var q RulesRequest
+	if herr := s.readBody(w, r, &q); herr != nil {
+		return herr
+	}
+	if err := q.validate(); err != nil {
+		return badRequest(err)
+	}
+	ix := s.index()
+	ctx, cancel := s.queryContext(r, q.TimeoutMS)
+	defer cancel()
+	res, err := assocmine.MineRulesWithSignatures(ix.data, ix.sig, assocmine.RuleConfig{
+		MinConfidence: q.MinConfidence,
+		Delta:         q.Delta,
+		Seed:          s.opts.Seed,
+		Context:       ctx,
+	})
+	if err != nil {
+		return queryFailure(err)
+	}
+	rules := make([]RuleJSON, len(res.Rules))
+	for i, rr := range res.Rules {
+		rules[i] = RuleJSON{From: rr.From, To: rr.To, Estimate: rr.Estimate, Confidence: rr.Confidence}
+	}
+	writeJSON(w, http.StatusOK, RulesResponse{Count: len(rules), Rules: rules})
+	return nil
+}
+
+func (s *Server) handleExpr(w http.ResponseWriter, r *http.Request) *httpError {
+	var q ExprRequest
+	if herr := s.readBody(w, r, &q); herr != nil {
+		return herr
+	}
+	if err := q.validate(); err != nil {
+		return badRequest(err)
+	}
+	ix := s.index()
+	cols := ix.expr.NumCols()
+	var value float64
+	switch q.Op {
+	case "cardinality":
+		e, err := ParseExpr(q.Expr, cols)
+		if err != nil {
+			return badRequest(err)
+		}
+		if value, err = ix.expr.Cardinality(e); err != nil {
+			// Parses that pass syntax can still break the evaluator's
+			// structural rules (And nesting, fan-in) — the request's
+			// fault, not the server's.
+			return badRequest(err)
+		}
+	case "similarity", "confidence":
+		a, err := ParseExpr(q.A, cols)
+		if err != nil {
+			return badRequest(err)
+		}
+		b, err := ParseExpr(q.B, cols)
+		if err != nil {
+			return badRequest(err)
+		}
+		if q.Op == "similarity" {
+			value, err = ix.expr.Similarity(a, b)
+		} else {
+			value, err = ix.expr.Confidence(a, b)
+		}
+		if err != nil {
+			return badRequest(err)
+		}
+	}
+	writeJSON(w, http.StatusOK, ExprResponse{Op: q.Op, Value: value})
+	return nil
+}
+
+func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) *httpError {
+	n, err := s.Refresh()
+	if err != nil {
+		if errors.Is(err, ErrStaticIndex) {
+			return &httpError{status: http.StatusConflict, msg: err.Error()}
+		}
+		return queryFailure(err)
+	}
+	ix := s.index()
+	writeJSON(w, http.StatusOK, RefreshResponse{
+		NewRows: n,
+		Rows:    ix.data.NumRows(),
+		Queries: s.queries.Load(),
+	})
+	return nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.drainMu.RLock()
+	draining := s.draining
+	s.drainMu.RUnlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, HealthResponse{Status: "draining"})
+		return
+	}
+	ix := s.index()
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:   "ok",
+		Rows:     ix.data.NumRows(),
+		Cols:     ix.data.NumCols(),
+		SigK:     ix.sig.K(),
+		SketchK:  ix.sk.K(),
+		Queries:  s.queries.Load(),
+		Inflight: s.inflightN.Load(),
+	})
+}

@@ -2,6 +2,7 @@ package assocmine
 
 import (
 	"io"
+	"net/http"
 	"sync"
 
 	"assocmine/internal/obs"
@@ -42,6 +43,14 @@ func NewCollector() *Collector { return obs.NewCollector() }
 // registry under name (idempotent), making it visible on the standard
 // /debug/vars endpoint.
 func PublishMetrics(name string, c *Collector) { obs.Publish(name, c) }
+
+// RegisterMetricsHTTP registers the standard observability endpoints
+// for c on mux — /metrics in the Prometheus text format and
+// /debug/vars with the collector snapshot published under name — the
+// same handlers assocfind -metrics-addr and assocserve expose.
+func RegisterMetricsHTTP(mux *http.ServeMux, name string, c *Collector) {
+	obs.RegisterHTTP(mux, name, c)
+}
 
 // Phase names as reported to Recorder and ProgressFunc.
 const (

@@ -1,6 +1,7 @@
 package assocmine
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -51,6 +52,10 @@ type RuleConfig struct {
 	Seed uint64
 	// SkipVerify skips the exact confidence pass.
 	SkipVerify bool
+	// Context, when non-nil, cancels the run: the signature and
+	// verification scans check it at row granularity and return
+	// ctx.Err() promptly once it is done. nil means run to completion.
+	Context context.Context
 }
 
 func (c *RuleConfig) setDefaults() error {
@@ -91,19 +96,46 @@ func (f *FileDataset) MineRules(cfg RuleConfig) (*RulesResult, error) {
 	return mineRules(f.src, cfg)
 }
 
+// MineRulesWithSignatures answers a rules query from a resident
+// min-hash sketch: the Section 6 confidence estimation runs over the
+// precomputed signatures (skipping the signature pass entirely) and
+// only the exact verification pass scans d. cfg.K is ignored — the
+// sketch's own K governs estimation accuracy, so serve rule queries
+// from a sketch computed with K >= 200.
+func MineRulesWithSignatures(d *Dataset, s *Signatures, cfg RuleConfig) (*RulesResult, error) {
+	if s.sig.M != d.NumCols() {
+		return nil, fmt.Errorf("assocmine: sketch covers %d columns, dataset has %d", s.sig.M, d.NumCols())
+	}
+	cfg.K = s.sig.K
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	return rulesFromSignatures(d.m.Stream(), s.sig, cfg, Stats{Algorithm: MinHash})
+}
+
 func mineRules(src matrix.RowSource, cfg RuleConfig) (*RulesResult, error) {
 	if err := cfg.setDefaults(); err != nil {
 		return nil, err
 	}
 	st := Stats{Algorithm: MinHash}
 	start := time.Now()
-	sig, err := minhash.Compute(src, cfg.K, cfg.Seed)
+	sigSrc := src
+	if cfg.Context != nil {
+		sigSrc = matrix.WithContext(cfg.Context, sigSrc)
+	}
+	sig, err := minhash.Compute(sigSrc, cfg.K, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
 	st.SignatureTime = time.Since(start)
+	return rulesFromSignatures(src, sig, cfg, st)
+}
 
-	start = time.Now()
+// rulesFromSignatures runs the candidate and verification phases of a
+// rules query over an already-computed sketch; src supplies the exact
+// confidence pass. cfg must already have defaults applied.
+func rulesFromSignatures(src matrix.RowSource, sig *minhash.Signatures, cfg RuleConfig, st Stats) (*RulesResult, error) {
+	start := time.Now()
 	cand, err := rules.Candidates(sig, rules.Options{
 		MinConfidence: (1 - cfg.Delta) * cfg.MinConfidence,
 	})
@@ -121,6 +153,9 @@ func mineRules(src matrix.RowSource, cfg RuleConfig) (*RulesResult, error) {
 		return &RulesResult{Rules: out, Stats: st}, nil
 	}
 	start = time.Now()
+	if cfg.Context != nil {
+		src = matrix.WithContext(cfg.Context, src)
+	}
 	verified, err := rules.Verify(src, cand, cfg.MinConfidence)
 	if err != nil {
 		return nil, err

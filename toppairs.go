@@ -22,6 +22,61 @@ import (
 // cfg.Workers carries through to every retry, parallelising all three
 // phases of each attempt.
 func TopPairs(d *Dataset, n int, cfg Config, minThreshold float64) ([]Pair, error) {
+	return topLoop(n, cfg, minThreshold, func(c Config) (*Result, error) {
+		return SimilarPairs(d, c)
+	}, nil)
+}
+
+// TopPairsWithSignatures is TopPairs answered from a resident min-hash
+// sketch: every threshold-lowering retry reruns only the in-memory
+// candidate phase plus one verification pass, never the signature
+// scan. cfg.Algorithm must be MinHash or MinLSH (the schemes
+// SimilarPairsWithSignatures supports).
+func TopPairsWithSignatures(d *Dataset, s *Signatures, n int, cfg Config, minThreshold float64) ([]Pair, error) {
+	return topLoop(n, cfg, minThreshold, func(c Config) (*Result, error) {
+		return SimilarPairsWithSignatures(d, s, c)
+	}, nil)
+}
+
+// TopPairsWithSketches is TopPairs answered from a resident bottom-k
+// sketch via SimilarPairsWithSketches (cfg.Algorithm is forced to
+// KMinHash).
+func TopPairsWithSketches(d *Dataset, s *Sketches, n int, cfg Config, minThreshold float64) ([]Pair, error) {
+	return topLoop(n, cfg, minThreshold, func(c Config) (*Result, error) {
+		return SimilarPairsWithSketches(d, s, c)
+	}, nil)
+}
+
+// TopColumnsWithSignatures returns the n columns most similar to col,
+// as pairs containing col, answered from a resident min-hash sketch
+// with the same threshold-lowering search as TopPairs. Pairs are
+// ordered by decreasing verified similarity.
+func TopColumnsWithSignatures(d *Dataset, s *Signatures, col, n int, cfg Config, minThreshold float64) ([]Pair, error) {
+	if col < 0 || col >= d.NumCols() {
+		return nil, fmt.Errorf("assocmine: column %d out of range [0,%d)", col, d.NumCols())
+	}
+	return topLoop(n, cfg, minThreshold, func(c Config) (*Result, error) {
+		return SimilarPairsWithSignatures(d, s, c)
+	}, func(p Pair) bool { return p.I == col || p.J == col })
+}
+
+// TopColumnsWithSketches is TopColumnsWithSignatures over a resident
+// bottom-k sketch (cfg.Algorithm is forced to KMinHash).
+func TopColumnsWithSketches(d *Dataset, s *Sketches, col, n int, cfg Config, minThreshold float64) ([]Pair, error) {
+	if col < 0 || col >= d.NumCols() {
+		return nil, fmt.Errorf("assocmine: column %d out of range [0,%d)", col, d.NumCols())
+	}
+	return topLoop(n, cfg, minThreshold, func(c Config) (*Result, error) {
+		return SimilarPairsWithSketches(d, s, c)
+	}, func(p Pair) bool { return p.I == col || p.J == col })
+}
+
+// topLoop is the shared threshold-lowering search: query at
+// cfg.Threshold, keep the pairs passing keep (nil keeps all), and
+// geometrically lower the threshold until n pairs are found or
+// minThreshold is hit. Validation and retry accounting are identical
+// for every TopPairs/TopColumns variant.
+func topLoop(n int, cfg Config, minThreshold float64, query func(Config) (*Result, error), keep func(Pair) bool) ([]Pair, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("assocmine: TopPairs needs n > 0, got %d", n)
 	}
@@ -40,16 +95,25 @@ func TopPairs(d *Dataset, n int, cfg Config, minThreshold float64) ([]Pair, erro
 	rec := obs.OrNop(cfg.Recorder)
 	for {
 		rec.Add(obs.CounterTopPairsAttempts, 1)
-		res, err := SimilarPairs(d, cfg)
+		res, err := query(cfg)
 		if err != nil {
 			return nil, err
 		}
-		if len(res.Pairs) >= n {
-			return res.Pairs[:n], nil
+		kept := res.Pairs
+		if keep != nil {
+			kept = make([]Pair, 0, len(res.Pairs))
+			for _, p := range res.Pairs {
+				if keep(p) {
+					kept = append(kept, p)
+				}
+			}
+		}
+		if len(kept) >= n {
+			return kept[:n], nil
 		}
 		if cfg.Threshold <= minThreshold {
 			// Floor reached: return everything found.
-			return res.Pairs, nil
+			return kept, nil
 		}
 		cfg.Threshold *= 0.7
 		if cfg.Threshold < minThreshold {
