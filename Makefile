@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check statcheck streamcheck chaoscheck packedcheck compresscheck incrcheck servecheck race race-all vet fmt bench bench-json benchdiff experiments experiments-full serve-bench serve-benchdiff fuzz clean
+.PHONY: all build test check statcheck streamcheck chaoscheck packedcheck compresscheck incrcheck servecheck bpscheck race race-all vet fmt bench bench-json benchdiff experiments experiments-full serve-bench serve-benchdiff fuzz clean
 
 all: build vet test
 
@@ -12,7 +12,7 @@ build:
 test:
 	$(GO) test ./...
 
-check: build vet test race statcheck streamcheck chaoscheck packedcheck compresscheck incrcheck servecheck
+check: build vet test race statcheck streamcheck chaoscheck packedcheck compresscheck incrcheck servecheck bpscheck
 
 # The statistical-accuracy suite (recall / false-positive-rate bounds
 # on seeded synthetic matrices; deterministic).
@@ -65,6 +65,17 @@ incrcheck:
 	$(GO) test -race -run 'TestMerge|TestFoldState|TestComputeStream' ./internal/minhash ./internal/kminhash
 	$(GO) test -race -run 'TestDistributeShards|TestTailSource' ./internal/matrix
 	$(GO) test -race -run 'TestGoldenIncremental|TestIncrCLI' ./cmd/assocfind
+
+# The biased-pair-sampling differential suite under the race detector:
+# BPS streamed == in-memory across file formats, worker counts and
+# verify kernels, budgeted spill == unbudgeted, sliding windows exact —
+# all bit-identical at a fixed seed — plus the sampler's property
+# invariants, the recall/FP statistics, and the CLI goldens.
+bpscheck:
+	$(GO) test -race -run 'TestBPS' .
+	$(GO) test -race ./internal/bps
+	$(GO) test -race -run 'TestBPS' ./internal/statstest
+	$(GO) test -race -run 'TestGoldenOutput/bps|TestGoldenOutput/stream-bps|TestParseAlgo' ./cmd/assocfind
 
 # The resident-service suite under the race detector: concurrent
 # clients byte-identical to direct library calls, 1000 queries held in
@@ -128,6 +139,7 @@ fuzz:
 	$(GO) test . -fuzz FuzzOpenFileDataset -fuzztime 10s
 	$(GO) test ./internal/faultfs -fuzz FuzzPlanRowBinary -fuzztime 10s
 	$(GO) test ./internal/verify -fuzz FuzzPackedVsScalar -fuzztime 10s
+	$(GO) test ./internal/bps -fuzz FuzzBPSSampler -fuzztime 10s
 	$(GO) test ./internal/serve -fuzz FuzzHTTPQuery -fuzztime 10s
 	$(GO) test ./internal/serve -fuzz FuzzParseExpr -fuzztime 10s
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"assocmine/internal/apriori"
+	"assocmine/internal/bps"
 	"assocmine/internal/candidate"
 	"assocmine/internal/hamminglsh"
 	"assocmine/internal/kminhash"
@@ -48,6 +49,15 @@ const (
 	// MinSupport > 0 and degrades (eventually failing on memory) as
 	// support drops.
 	Apriori
+	// BPS is biased pair sampling (Campagna & Pagh, "Finding
+	// Associations and Computing Similarity via Biased Pair Sampling"):
+	// candidate pairs are drawn directly from each row, accepted with
+	// probability min(1, Δ/(s_i·s_j)) — inversely proportional to the
+	// columns' support product — so low-support (interesting) pairs are
+	// counted exactly while frequent pairs are cheaply subsampled. No
+	// signature matrix; phase 1 is a single support-counting pass and
+	// SampleBudget tunes the recall/work trade-off.
+	BPS
 )
 
 // String returns the paper's name for the algorithm.
@@ -65,6 +75,8 @@ func (a Algorithm) String() string {
 		return "H-LSH"
 	case Apriori:
 		return "A-priori"
+	case BPS:
+		return "BPS"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
 	}
@@ -110,6 +122,12 @@ type Config struct {
 	T int
 	// MinSupport is the support fraction for Apriori (required for it).
 	MinSupport float64
+	// SampleBudget is the BPS sample budget λ: the expected number of
+	// accepted draws for a pair exactly at Threshold. Larger budgets
+	// raise recall and shrink the false-positive rate of the sampling
+	// filter at proportionally more accepted samples. Default 32. The
+	// other algorithms ignore it.
+	SampleBudget int
 	// AprioriMemoryBudget bounds apriori's candidate bytes; zero means
 	// unlimited. When exceeded, SimilarPairs returns
 	// apriori.ErrMemoryBudget (the paper's Fig. 4 "-" entries).
@@ -228,6 +246,12 @@ func (c *Config) setDefaults() error {
 	if c.Algorithm == Apriori && (c.MinSupport <= 0 || c.MinSupport > 1) {
 		return fmt.Errorf("assocmine: Apriori requires MinSupport in (0,1], got %v", c.MinSupport)
 	}
+	if c.SampleBudget == 0 {
+		c.SampleBudget = 32
+	}
+	if c.SampleBudget < 1 {
+		return fmt.Errorf("assocmine: SampleBudget must be positive, got %d", c.SampleBudget)
+	}
 	if c.Window < 0 {
 		return fmt.Errorf("assocmine: Window must be >= 0, got %d", c.Window)
 	}
@@ -339,6 +363,13 @@ type Stats struct {
 	// verification ran a scalar kernel).
 	PackedWords   int64
 	PackedBatches int64
+	// PairsSampled counts the in-row pair draws the BPS sampler
+	// inspected, SampleAccepts the draws its biased acceptance test
+	// kept, and SampleDups the accepted draws for pairs that had
+	// already been sampled (all 0 for the other schemes).
+	PairsSampled  int64
+	SampleAccepts int64
+	SampleDups    int64
 }
 
 // Total returns the end-to-end running time.
@@ -617,6 +648,61 @@ func similarPairs(rawSrc matrix.RowSource, materialize func() (*matrix.Matrix, e
 		st.Verified = len(exact)
 		return finish(&Result{Pairs: toPairs(exact, true), Stats: st}), nil
 
+	case BPS:
+		// Phase 1: column supports, the sampler's bias input. In-memory
+		// column-major sources yield them without a scan; account one
+		// I/O-equivalent pass by hand, as the verify fast paths do.
+		tick := prog.enter(PhaseSignatures)
+		end := phase(PhaseSignatures)
+		var sup []int64
+		if ls, ok := rawSrc.(matrix.ColumnLister); ok {
+			counting.Passes++
+			counting.Rows += int64(rawSrc.NumRows())
+			sup = bps.SupportsFromLister(ls)
+		} else {
+			ssrc := src
+			if tick != nil {
+				ssrc = &matrix.ProgressSource{Src: ssrc, Tick: tick}
+			}
+			var err error
+			sup, err = bps.Supports(ssrc)
+			if err != nil {
+				return nil, err
+			}
+		}
+		st.SignatureTime = end()
+		// The supports array is this scheme's whole resident "signature"
+		// state: one cell (8 bytes) per column.
+		rec.Add(obs.CounterSignatureCells, int64(len(sup)))
+		rec.SetGauge(obs.GaugeSignatureBytes, int64(len(sup))*8)
+		prog.finish(PhaseSignatures)
+		tick = prog.enter(PhaseCandidates)
+		end = phase(PhaseCandidates)
+		bsrc := src
+		if tick != nil {
+			bsrc = &matrix.ProgressSource{Src: bsrc, Tick: tick}
+		}
+		var bst bps.Stats
+		var err error
+		cand, bst, err = bps.Sample(bsrc, sup, bps.Options{
+			Threshold: cfg.Threshold,
+			Delta:     cfg.Delta,
+			Budget:    cfg.SampleBudget,
+			Seed:      cfg.Seed,
+			Workers:   cfg.Workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		st.CandidateTime = end()
+		st.CandidateWorkers = cfg.Workers
+		rec.SetGauge(obs.GaugeCandidateWorkers, int64(cfg.Workers))
+		rec.Add(obs.CounterPairsSampled, bst.Inspected)
+		rec.Add(obs.CounterSampleAccepts, bst.Accepts)
+		addNonzero(rec, obs.CounterSampleDups, bst.Dups)
+		addNonzero(rec, obs.CounterShards, bst.Shards)
+		prog.finish(PhaseCandidates)
+
 	default:
 		return nil, fmt.Errorf("assocmine: unknown algorithm %d", int(cfg.Algorithm))
 	}
@@ -739,6 +825,9 @@ func (s *Stats) fillFrom(c *Collector) {
 	s.FaultsInjected = c.Counter(CounterFaultsInjected)
 	s.PackedWords = c.Counter(CounterPackedWords)
 	s.PackedBatches = c.Counter(CounterPackedBatches)
+	s.PairsSampled = c.Counter(CounterPairsSampled)
+	s.SampleAccepts = c.Counter(CounterSampleAccepts)
+	s.SampleDups = c.Counter(CounterSampleDups)
 }
 
 // computeMH runs the MH signature pass, parallel when cfg.Workers asks

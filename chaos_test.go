@@ -34,6 +34,7 @@ var chaosAlgos = []struct {
 	{"MH", Config{Algorithm: MinHash, Threshold: 0.5, K: 50, Seed: 7}},
 	{"K-MH", Config{Algorithm: KMinHash, Threshold: 0.5, K: 50, Seed: 7}},
 	{"M-LSH", Config{Algorithm: MinLSH, Threshold: 0.5, K: 50, R: 5, L: 10, Seed: 7}},
+	{"BPS", Config{Algorithm: BPS, Threshold: 0.5, Seed: 7}},
 }
 
 // saveChaosFile writes d in the given format and returns the path.
@@ -227,6 +228,9 @@ func TestChaosCancellation(t *testing.T) {
 	// arena instead of spilling) and cancels inside the popcount sweep,
 	// which ticks pair progress at chunk granularity.
 	mhPacked := Config{Algorithm: MinHash, Threshold: 0.3, K: 40, Delta: 0.9, Seed: 13, VerifyKernel: KernelPacked}
+	// The BPS cases share the loose Delta and tiny budget so its verify
+	// phase, too, spills before the cancel lands.
+	bpsChaos := Config{Algorithm: BPS, Threshold: 0.3, Delta: 0.9, Seed: 13, MemoryBudget: 4096}
 	cases := []struct {
 		name  string
 		cfg   Config
@@ -238,6 +242,11 @@ func TestChaosCancellation(t *testing.T) {
 		{"MH/verify-packed", mhPacked, PhaseVerify},
 		{"K-MH/candidates", Config{Algorithm: KMinHash, Threshold: 0.5, K: 50, Seed: 7}, PhaseCandidates},
 		{"M-LSH/candidates", Config{Algorithm: MinLSH, Threshold: 0.5, K: 50, R: 5, L: 10, Seed: 7}, PhaseCandidates},
+		// BPS covers all three of its phases: the streamed supports
+		// pass, the sampling scan, and the (spilling) budgeted verify.
+		{"BPS/signatures", bpsChaos, PhaseSignatures},
+		{"BPS/candidates", bpsChaos, PhaseCandidates},
+		{"BPS/verify", bpsChaos, PhaseVerify},
 	}
 	const deadline = 30 * time.Second
 	for _, workers := range []int{1, 4} {

@@ -86,6 +86,11 @@ func TestGoldenOutput(t *testing.T) {
 		// overflows the 128-byte budget — the golden locks in nonzero
 		// spill activity in both the stats line and the metrics.
 		{"stream-budget", options{in: data, algo: "mh", threshold: 0.1, k: 80, seed: 3, top: 5, stats: true, metrics: true, stream: true, memBudget: "128"}},
+		// Biased pair sampling: the golden locks in the deterministic
+		// "sampled:" stats line (draws / accepts / duplicates are pure
+		// functions of seed and data, identical for any worker count).
+		{"bps", options{in: data, algo: "bps", threshold: 0.5, seed: 3, top: 10, stats: true, metrics: true}},
+		{"stream-bps", options{in: data, algo: "bps", threshold: 0.5, seed: 3, top: 10, stats: true, metrics: true, stream: true}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

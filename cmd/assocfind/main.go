@@ -13,6 +13,7 @@
 //	assocfind -in grow.arows -algo mh -threshold 0.5 -stream -append sketch.ain
 //	assocfind -in grow.arows -algo kmh -threshold 0.5 -stream -resume sketch.ain
 //	assocfind -in data.arows -algo mh -threshold 0.5 -window 1000
+//	assocfind -in data.arows -algo bps -threshold 0.5 -sample-budget 64 -stream
 package main
 
 import (
@@ -38,6 +39,7 @@ type options struct {
 	algo        string
 	threshold   float64
 	k, r, l     int
+	budget      int
 	workers     int
 	support     float64
 	seed        uint64
@@ -65,11 +67,12 @@ type options struct {
 func main() {
 	var o options
 	flag.StringVar(&o.in, "in", "", "input dataset file (required)")
-	flag.StringVar(&o.algo, "algo", "mlsh", "algorithm: brute | mh | kmh | mlsh | hlsh | apriori")
+	flag.StringVar(&o.algo, "algo", "mlsh", "algorithm: brute | mh | kmh | mlsh | hlsh | apriori | bps")
 	flag.Float64Var(&o.threshold, "threshold", 0.7, "similarity threshold s*")
 	flag.IntVar(&o.k, "k", 100, "min-hash values per column (mh, kmh, mlsh)")
 	flag.IntVar(&o.r, "r", 0, "band size / sample bits (mlsh, hlsh); 0 = default")
 	flag.IntVar(&o.l, "l", 0, "band count / runs (mlsh, hlsh); 0 = default")
+	flag.IntVar(&o.budget, "sample-budget", 0, "bps only: expected accepted samples per at-threshold pair; 0 = default (32)")
 	flag.IntVar(&o.workers, "workers", 0, "goroutines per phase; 0 or 1 = serial, -1 = all cores")
 	flag.Float64Var(&o.support, "support", 0, "apriori only: minimum support fraction")
 	flag.Uint64Var(&o.seed, "seed", 1, "random seed")
@@ -118,6 +121,8 @@ func parseAlgo(s string) (assocmine.Algorithm, error) {
 		return assocmine.HammingLSH, nil
 	case "apriori", "a-priori":
 		return assocmine.Apriori, nil
+	case "bps", "biasedpairsampling":
+		return assocmine.BPS, nil
 	default:
 		return 0, fmt.Errorf("unknown algorithm %q", s)
 	}
@@ -203,8 +208,8 @@ func run(o options) error {
 	}
 	cfg := assocmine.Config{
 		Algorithm: a, Threshold: o.threshold, K: o.k, R: o.r, L: o.l,
-		MinSupport: o.support, Seed: o.seed, Workers: o.workers,
-		MemoryBudget: budget, VerifyKernel: kernel,
+		MinSupport: o.support, SampleBudget: o.budget, Seed: o.seed,
+		Workers: o.workers, MemoryBudget: budget, VerifyKernel: kernel,
 	}
 	if o.appendState == "" && o.resumeState == "" {
 		// Plain sliding-window mining; in incremental mode -window counts
@@ -460,6 +465,10 @@ func printStats(s assocmine.Stats) {
 	if s.SignatureWorkers > 1 || s.CandidateWorkers > 1 || s.VerifyWorkers > 1 {
 		fmt.Printf("workers: signatures %d, candidates %d, verification %d\n",
 			s.SignatureWorkers, s.CandidateWorkers, s.VerifyWorkers)
+	}
+	if s.PairsSampled > 0 {
+		fmt.Printf("sampled: %d draws inspected, %d accepted, %d duplicates\n",
+			s.PairsSampled, s.SampleAccepts, s.SampleDups)
 	}
 	if s.BytesRead > 0 || s.ShardsStreamed > 0 || s.SpillRuns > 0 {
 		fmt.Printf("out-of-core: %s read, %d shards streamed, %d spill runs (%s)\n",

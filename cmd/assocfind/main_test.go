@@ -18,6 +18,7 @@ func TestParseAlgo(t *testing.T) {
 		"mlsh": assocmine.MinLSH, "M-LSH": assocmine.MinLSH,
 		"hlsh": assocmine.HammingLSH, "HammingLSH": assocmine.HammingLSH,
 		"apriori": assocmine.Apriori, "A-priori": assocmine.Apriori,
+		"bps": assocmine.BPS, "BPS": assocmine.BPS,
 	}
 	for in, want := range cases {
 		got, err := parseAlgo(in)

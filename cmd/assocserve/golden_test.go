@@ -60,6 +60,9 @@ func TestGoldenHTTP(t *testing.T) {
 		{"expr_sim", http.MethodPost, "/v1/expr", true, http.StatusOK},
 		{"expr_card", http.MethodPost, "/v1/expr", true, http.StatusOK},
 		{"bad_threshold", http.MethodPost, "/v1/pairs", true, http.StatusBadRequest},
+		// bps has no resident index (it samples raw rows per run), so the
+		// planner must reject it cleanly rather than fall back.
+		{"pairs_bps", http.MethodPost, "/v1/pairs", true, http.StatusBadRequest},
 	}
 
 	serial := goldenServer(t, 1)

@@ -21,6 +21,7 @@ import (
 	"testing"
 
 	"assocmine"
+	"assocmine/internal/bps"
 	"assocmine/internal/candidate"
 	"assocmine/internal/gen"
 	"assocmine/internal/kminhash"
@@ -200,6 +201,13 @@ func run(out string, rows, cols, k, workers int, kernel assocmine.Kernel, agains
 		Workers:    workers,
 		K:          k,
 	}
+	sup, err := bps.Supports(m.Stream())
+	if err != nil {
+		return err
+	}
+	bopt := func(w int) bps.Options {
+		return bps.Options{Threshold: 0.5, Budget: 32, Seed: 7, Workers: w}
+	}
 	popt := func(w int) verify.PackedOptions { return verify.PackedOptions{Workers: w} }
 	specs := []struct {
 		name             string
@@ -214,6 +222,9 @@ func run(out string, rows, cols, k, workers int, kernel assocmine.Kernel, agains
 		{"candidates/lsh-banding",
 			func() error { _, _, err := lsh.Candidates(sig, 5, 10); return err },
 			func() error { _, _, err := lsh.CandidatesParallel(sig, 5, 10, workers); return err }},
+		{"candidates/bps-sample",
+			func() error { _, _, err := bps.Sample(m.Stream(), sup, bopt(1)); return err },
+			func() error { _, _, err := bps.Sample(m.Stream(), sup, bopt(workers)); return err }},
 		{"verify/exact",
 			func() error { _, _, err := verify.ExactPacked(m.Stream(), cand, 0.3, popt(1)); return err },
 			func() error { _, _, err := verify.ExactPacked(m.Stream(), cand, 0.3, popt(workers)); return err }},
@@ -241,14 +252,14 @@ func run(out string, rows, cols, k, workers int, kernel assocmine.Kernel, agains
 				r.Phase, r.SerialNsOp, r.SerialBytesOp, r.SerialAllocsOp, r.ParallelNsOp, r.Speedup)
 		}
 	}
-	if err := streamedPasses(&rep, m, cand, k, workers); err != nil {
+	if err := streamedPasses(&rep, m, cand, sup, k, workers); err != nil {
 		return err
 	}
 	if err := incrPasses(&rep, m, k); err != nil {
 		return err
 	}
 	d := assocmine.WrapMatrix(m)
-	for _, algo := range []assocmine.Algorithm{assocmine.MinHash, assocmine.MinLSH} {
+	for _, algo := range []assocmine.Algorithm{assocmine.MinHash, assocmine.MinLSH, assocmine.BPS} {
 		coll := assocmine.NewCollector()
 		_, err := assocmine.SimilarPairs(d, assocmine.Config{
 			Algorithm: algo, Threshold: 0.5, K: k, Seed: 7,
@@ -359,7 +370,7 @@ func compareBaseline(path string, rep report, buf []byte, update bool) error {
 // savings land in the same report; the spill pass additionally runs
 // with the raw spill codec (stream/verify-spill-raw) to price the
 // compressed spill runs.
-func streamedPasses(rep *report, m *matrix.Matrix, cand []pairs.Scored, k, workers int) error {
+func streamedPasses(rep *report, m *matrix.Matrix, cand []pairs.Scored, sup []int64, k, workers int) error {
 	dir, err := os.MkdirTemp("", "benchjson-")
 	if err != nil {
 		return err
@@ -405,6 +416,11 @@ func streamedPasses(rep *report, m *matrix.Matrix, cand []pairs.Scored, k, worke
 			func() error { _, err := minhash.Compute(fsrc, k, 7); return err }},
 		{"stream/signatures-fanout", info.Size(),
 			func() error { _, _, err := minhash.ComputeStream(fsrc, k, 7, workers); return err }},
+		{"stream/bps-sample", info.Size(),
+			func() error {
+				_, _, err := bps.Sample(fsrc, sup, bps.Options{Threshold: 0.5, Budget: 32, Seed: 7, Workers: workers})
+				return err
+			}},
 		{"stream/verify", info.Size(),
 			func() error { _, _, err := verify.Exact(fsrc, cand, 0.3); return err }},
 		{"stream/verify-packed", info.Size(),
@@ -422,6 +438,11 @@ func streamedPasses(rep *report, m *matrix.Matrix, cand []pairs.Scored, k, worke
 			func() error { _, err := minhash.Compute(csrc, k, 7); return err }},
 		{"cstream/signatures-fanout", cinfo.Size(),
 			func() error { _, _, err := minhash.ComputeStream(csrc, k, 7, workers); return err }},
+		{"cstream/bps-sample", cinfo.Size(),
+			func() error {
+				_, _, err := bps.Sample(csrc, sup, bps.Options{Threshold: 0.5, Budget: 32, Seed: 7, Workers: workers})
+				return err
+			}},
 		{"cstream/verify", cinfo.Size(),
 			func() error { _, _, err := verify.Exact(csrc, cand, 0.3); return err }},
 		{"cstream/verify-packed", cinfo.Size(),

@@ -1,0 +1,296 @@
+// Package bps implements biased pair sampling (BPS), the fifth
+// candidate-generation scheme of this repository, after Campagna &
+// Pagh, "Finding Associations and Computing Similarity via Biased Pair
+// Sampling". Unlike the four signature schemes (MH, K-MH, M-LSH,
+// H-LSH) it builds no signature matrix at all: candidates are drawn
+// directly from the rows. Phase 1 is one pass counting column supports
+// s_i; phase 2 scans the rows again and, for every pair of columns
+// co-occurring in a row, accepts the draw with probability
+//
+//	p_ij = min(1, Δ/(s_i·s_j)),  Δ = λ·(1+s*)·S_max/(2·s*),
+//
+// where s* is the similarity threshold, S_max = max_i s_i, and λ (the
+// sample budget, Options.Budget) calibrates the scale: a pair whose
+// similarity is exactly s* co-occurs in c* = s*·(s_i+s_j)/(1+s*) rows,
+// so its expected accepted count is p_ij·c* = λ·S_max·(1/s_i+1/s_j)/2
+// ≥ λ. Low-support (interesting) pairs get p_ij = 1 — exact
+// co-occurrence counting, hence no false negatives — while high-support
+// pairs are subsampled at a rate inversely proportional to s_i·s_j,
+// the same support-free bias the Cohen et al. schemes realise through
+// hashing. A sampled pair becomes a candidate when its accepted count
+// reaches (1-δ)·p_ij·c*, mirroring the (1-δ)·s* candidate filter of
+// the counting schemes; growing λ concentrates the counts around their
+// means, so the false-positive rate of the filter shrinks as the budget
+// grows. The exact verification pass then prunes the survivors as for
+// every other scheme.
+//
+// Determinism (the seed-splitting argument). The accept decision for a
+// draw is a pure hash of (seed, row, i, j) — no stateful RNG stream:
+// the seed is split once per row (one Mix64 of seed and row id) and
+// once more per pair (a second Mix64 folding in the canonical pair
+// key), yielding an independent uniform in [0,1) that any worker
+// computes identically. The set of accepted draws is therefore
+// independent of row delivery order, shard boundaries, and worker
+// count, and the per-pair counts merge across workers by plain
+// addition — serial, parallel, streamed and spilled runs are
+// bit-identical by construction.
+package bps
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"assocmine/internal/hashing"
+	"assocmine/internal/matrix"
+	"assocmine/internal/pairs"
+)
+
+// Options configures a sampling pass.
+type Options struct {
+	// Threshold is s*, the similarity cutoff, in (0,1].
+	Threshold float64
+	// Delta loosens the candidate filter exactly as for the counting
+	// schemes: a sampled pair becomes a candidate when its accepted
+	// count reaches (1-Delta) times the expected accepted count of a
+	// pair at Threshold. In [0,1).
+	Delta float64
+	// Budget is λ, the expected number of accepted draws for a pair
+	// exactly at Threshold. Larger budgets raise recall and sharpen the
+	// candidate filter (fewer false positives) at proportionally more
+	// accepted samples. Must be >= 1.
+	Budget int
+	// Seed drives the per-(row,pair) accept hashes.
+	Seed uint64
+	// Workers parallelises the sampling scan across goroutines fed by
+	// one DistributeShards pass (<= 1 means serial). Output is
+	// bit-identical at every worker count.
+	Workers int
+}
+
+// Stats reports the work a sampling pass performed.
+type Stats struct {
+	// Inspected counts the in-row pair draws examined: Σ b·(b-1)/2
+	// over basket sizes b — the scheme's candidate-phase work measure.
+	Inspected int64
+	// Accepts counts the draws the biased acceptance test kept, and
+	// Dups the accepted draws for pairs that had already been sampled
+	// (Accepts minus distinct sampled pairs).
+	Accepts int64
+	Dups    int64
+	// Shards counts the bounded row blocks dealt to parallel samplers
+	// (0 for a serial scan).
+	Shards int64
+}
+
+// Supports performs one sequential pass over src and returns the
+// support (number of rows set) of every column. Rows referencing
+// columns outside [0, NumCols) are rejected with an error naming the
+// row and column.
+func Supports(src matrix.RowSource) ([]int64, error) {
+	sup := make([]int64, src.NumCols())
+	err := src.Scan(func(row int, cols []int32) error {
+		for _, c := range cols {
+			if c < 0 || int(c) >= len(sup) {
+				return fmt.Errorf("bps: row %d references column %d outside [0,%d)", row, c, len(sup))
+			}
+			sup[c]++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sup, nil
+}
+
+// SupportsFromLister reads the supports off a column-major in-memory
+// source without a row scan (the I/O-equivalent of one pass).
+func SupportsFromLister(ls matrix.ColumnLister) []int64 {
+	sup := make([]int64, ls.NumCols())
+	for c := range sup {
+		sup[c] = int64(len(ls.ColumnRows(c)))
+	}
+	return sup
+}
+
+// sampler accumulates one scan partition's accepted draws. The accept
+// decision is a pure function of (seed, row, pair), so any partition of
+// the rows across samplers yields the same merged counts.
+type sampler struct {
+	sup       []int64
+	pScale    float64
+	seedMix   uint64
+	counts    map[uint64]int64
+	inspected int64
+	err       error
+}
+
+func newSampler(sup []int64, pScale float64, seedMix uint64) *sampler {
+	return &sampler{sup: sup, pScale: pScale, seedMix: seedMix, counts: make(map[uint64]int64)}
+}
+
+// row folds one row's pair draws into the sampler.
+func (s *sampler) row(row int, cols []int32) error {
+	for _, c := range cols {
+		if c < 0 || int(c) >= len(s.sup) {
+			return fmt.Errorf("bps: row %d references column %d outside [0,%d)", row, c, len(s.sup))
+		}
+	}
+	rowH := hashing.Mix64(s.seedMix ^ (uint64(row)+1)*0x9e3779b97f4a7c15)
+	for a := 0; a+1 < len(cols); a++ {
+		i := cols[a]
+		si := float64(s.sup[i])
+		for b := a + 1; b < len(cols); b++ {
+			j := cols[b]
+			if i == j {
+				// Hostile encodings may repeat a column within a row;
+				// self-pairs are never candidates.
+				continue
+			}
+			lo, hi := i, j
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			s.inspected++
+			key := uint64(uint32(lo))<<32 | uint64(uint32(hi))
+			// p < 1 is the subsampled regime; the comparison is written
+			// so that an inconsistent supports slice (zero support for
+			// an observed column, possible only under hostile inputs)
+			// yields p = Inf or NaN and falls through to a plain count.
+			if p := s.pScale / (si * float64(s.sup[j])); p < 1 {
+				u := float64(hashing.Mix64(rowH^key)>>11) / (1 << 53)
+				if u >= p {
+					continue
+				}
+			}
+			s.counts[key]++
+		}
+	}
+	return nil
+}
+
+// Sample performs one sequential pass over src, drawing biased pair
+// samples from every row, and returns the candidate pairs whose
+// accepted counts pass the (1-Delta) filter, sorted by (I, J) with
+// Estimate set to the unbiased similarity estimate ĉ/(s_i+s_j-ĉ),
+// ĉ = min(count/p_ij, min(s_i, s_j)). sup must be the supports of the
+// same data (see Supports); rows referencing columns outside sup are
+// rejected with an error.
+func Sample(src matrix.RowSource, sup []int64, opt Options) ([]pairs.Scored, Stats, error) {
+	var st Stats
+	if opt.Threshold <= 0 || opt.Threshold > 1 {
+		return nil, st, fmt.Errorf("bps: Threshold must be in (0,1], got %v", opt.Threshold)
+	}
+	if opt.Delta < 0 || opt.Delta >= 1 {
+		return nil, st, fmt.Errorf("bps: Delta must be in [0,1), got %v", opt.Delta)
+	}
+	if opt.Budget < 1 {
+		return nil, st, fmt.Errorf("bps: Budget must be >= 1, got %d", opt.Budget)
+	}
+	workers := opt.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	var smax int64
+	for _, s := range sup {
+		if s > smax {
+			smax = s
+		}
+	}
+	pScale := float64(opt.Budget) * (1 + opt.Threshold) * float64(smax) / (2 * opt.Threshold)
+	seedMix := hashing.Mix64(opt.Seed ^ 0xb5ad4eceda1ce2a9)
+
+	var counts map[uint64]int64
+	if workers <= 1 {
+		s := newSampler(sup, pScale, seedMix)
+		if err := src.Scan(s.row); err != nil {
+			return nil, st, err
+		}
+		counts = s.counts
+		st.Inspected = s.inspected
+	} else {
+		// One sequential pass dealt round-robin to private samplers;
+		// counts merge by addition because accept decisions are
+		// per-(row,pair) hashes, independent of the partition.
+		samplers := make([]*sampler, workers)
+		consumers := make([]func(<-chan *matrix.Shard), workers)
+		for w := range samplers {
+			s := newSampler(sup, pScale, seedMix)
+			samplers[w] = s
+			consumers[w] = func(ch <-chan *matrix.Shard) {
+				for sh := range ch {
+					if s.err != nil {
+						continue // keep draining so the dealer never blocks
+					}
+					for i := 0; i < sh.Len(); i++ {
+						row, cols := sh.Row(i)
+						if err := s.row(int(row), cols); err != nil {
+							s.err = err
+							break
+						}
+					}
+				}
+			}
+		}
+		shards, err := matrix.DistributeShards(src, 0, 0, consumers)
+		st.Shards = shards
+		if err != nil {
+			return nil, st, err
+		}
+		for _, s := range samplers {
+			if s.err != nil {
+				return nil, st, s.err
+			}
+		}
+		counts = samplers[0].counts
+		st.Inspected = samplers[0].inspected
+		for _, s := range samplers[1:] {
+			st.Inspected += s.inspected
+			for k, v := range s.counts {
+				counts[k] += v
+			}
+		}
+	}
+	for _, n := range counts {
+		st.Accepts += n
+	}
+	st.Dups = st.Accepts - int64(len(counts))
+
+	out := make([]pairs.Scored, 0, len(counts))
+	for key, n := range counts {
+		i := int32(key >> 32)
+		j := int32(key)
+		si, sj := float64(sup[i]), float64(sup[j])
+		p := pScale / (si * sj)
+		if !(p < 1) {
+			p = 1 // also maps the hostile-input Inf/NaN case to exact counting
+		}
+		cThresh := opt.Threshold * (si + sj) / (1 + opt.Threshold)
+		if float64(n) < (1-opt.Delta)*p*cThresh {
+			continue
+		}
+		est := float64(n) / p
+		if m := math.Min(si, sj); est > m {
+			est = m
+		}
+		sim := 0.0
+		if denom := si + sj - est; denom > 0 {
+			sim = est / denom
+		}
+		if sim > 1 {
+			sim = 1
+		}
+		if !(sim >= 0) {
+			sim = 0
+		}
+		out = append(out, pairs.Scored{Pair: pairs.Pair{I: i, J: j}, Estimate: sim})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].I != out[b].I {
+			return out[a].I < out[b].I
+		}
+		return out[a].J < out[b].J
+	})
+	return out, st, nil
+}

@@ -1,0 +1,118 @@
+package bps
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"assocmine/internal/matrix"
+)
+
+// fuzzSource decodes arbitrary bytes into a row stream with NO
+// validation: rows may repeat columns, list them out of order, or point
+// outside [0, NumCols) — the hostile encodings a corrupt or adversarial
+// file source could deliver past its own checks. The sampler must
+// either reject the stream with an error or uphold every output
+// invariant; it must never panic.
+type fuzzSource struct {
+	numCols int
+	rows    [][]int32
+}
+
+func decodeFuzzSource(data []byte) *fuzzSource {
+	if len(data) < 1 {
+		return &fuzzSource{}
+	}
+	s := &fuzzSource{numCols: int(data[0]%32) + 1}
+	data = data[1:]
+	var row []int32
+	for len(data) >= 2 {
+		v := int32(int16(binary.LittleEndian.Uint16(data)))
+		data = data[2:]
+		if v == -32768 { // row separator sentinel
+			s.rows = append(s.rows, row)
+			row = nil
+			continue
+		}
+		if len(row) < 64 { // bound Σb² so the fuzzer stays fast
+			row = append(row, v)
+		}
+	}
+	s.rows = append(s.rows, row)
+	return s
+}
+
+func (s *fuzzSource) NumRows() int { return len(s.rows) }
+func (s *fuzzSource) NumCols() int { return s.numCols }
+func (s *fuzzSource) Scan(fn func(int, []int32) error) error {
+	for r, cols := range s.rows {
+		if err := fn(r, cols); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FuzzBPSSampler drives Supports and Sample over hostile row encodings:
+// whatever the bytes decode to, the sampler either errors cleanly or
+// produces canonical deduplicated in-range candidates with consistent
+// stats, bit-identical between serial and parallel runs.
+func FuzzBPSSampler(f *testing.F) {
+	f.Add([]byte{}, uint64(1), uint8(8))
+	f.Add([]byte{3, 0, 0, 1, 0, 2, 0, 0, 128, 1, 0, 2, 0}, uint64(7), uint8(4))
+	f.Add([]byte{5, 255, 255, 9, 9, 0, 128, 1, 0, 1, 0, 1, 0}, uint64(3), uint8(1))
+	f.Add([]byte{1, 200, 0, 0, 128}, uint64(0), uint8(16))
+	f.Fuzz(func(t *testing.T, data []byte, seed uint64, budget uint8) {
+		src := decodeFuzzSource(data)
+		opt := Options{
+			Threshold: 0.4,
+			Delta:     0.2,
+			Budget:    int(budget%64) + 1,
+			Seed:      seed,
+		}
+		sup, serr := Supports(src)
+		if serr != nil {
+			// The stream is malformed; Sample must agree (using a
+			// zeroed supports slice so indexing alone cannot save it).
+			if _, _, err := Sample(src, make([]int64, src.NumCols()), opt); err == nil {
+				t.Fatal("Supports rejected the stream but Sample accepted it")
+			}
+			return
+		}
+		cand, st, err := Sample(src, sup, opt)
+		if err != nil {
+			t.Fatalf("Supports accepted the stream but Sample rejected it: %v", err)
+		}
+		if st.Accepts > st.Inspected || st.Dups < 0 || st.Dups > st.Accepts {
+			t.Fatalf("inconsistent stats %+v", st)
+		}
+		if int64(len(cand)) > st.Accepts-st.Dups {
+			t.Fatalf("%d candidates exceed %d distinct sampled pairs", len(cand), st.Accepts-st.Dups)
+		}
+		for k, p := range cand {
+			if p.I >= p.J || p.I < 0 || int(p.J) >= src.NumCols() {
+				t.Fatalf("invalid pair (%d,%d) for %d columns", p.I, p.J, src.NumCols())
+			}
+			if k > 0 && (cand[k-1].I > p.I || (cand[k-1].I == p.I && cand[k-1].J >= p.J)) {
+				t.Fatalf("output unsorted or duplicated at %d", k)
+			}
+			if p.Estimate < 0 || p.Estimate > 1 {
+				t.Fatalf("estimate %v outside [0,1]", p.Estimate)
+			}
+		}
+		opt.Workers = 4
+		pcand, pst, err := Sample(src, sup, opt)
+		if err != nil {
+			t.Fatalf("parallel run rejected what serial accepted: %v", err)
+		}
+		if len(pcand) != len(cand) || pst.Inspected != st.Inspected || pst.Accepts != st.Accepts || pst.Dups != st.Dups {
+			t.Fatalf("parallel run diverged: %d/%+v vs %d/%+v", len(pcand), pst, len(cand), st)
+		}
+		for i := range pcand {
+			if pcand[i] != cand[i] {
+				t.Fatalf("parallel candidate %d = %+v, serial %+v", i, pcand[i], cand[i])
+			}
+		}
+	})
+}
+
+var _ matrix.RowSource = (*fuzzSource)(nil)

@@ -86,6 +86,17 @@ const (
 	// scalar kernel).
 	CounterPackedWords   = "packed_words"
 	CounterPackedBatches = "packed_batches"
+	// CounterPairsSampled counts the in-row pair draws the BPS sampler
+	// inspected (Σ b·(b-1)/2 over basket sizes b — the scheme's
+	// candidate-phase work measure, playing the role CounterIncrements
+	// plays for the counting schemes). CounterSampleAccepts counts the
+	// draws the biased acceptance test kept, and CounterSampleDups the
+	// accepted draws for pairs that had already been sampled (accepts
+	// minus distinct sampled pairs — the dedup work the exact merge
+	// performs). All three are absent for the other schemes.
+	CounterPairsSampled  = "pairs_sampled"
+	CounterSampleAccepts = "sample_accepts"
+	CounterSampleDups    = "sample_dups"
 	// CounterRowsAppended counts rows folded into an incremental Ingest
 	// (appended batches and catch-up scans), CounterStatesMerged the
 	// fold-state merges performed to answer queries or combine window

@@ -111,6 +111,11 @@ func choosePlan(threshold float64, idx indexInfo, force string) (Plan, error) {
 			return Plan{}, fmt.Errorf("no resident signatures for algo %q", force)
 		}
 		return Plan{Kind: PlanMHSort, Reason: "forced by request"}, nil
+	case "bps":
+		// Biased pair sampling re-draws from the raw rows on every run;
+		// there is no resident index to answer from, so it is a batch
+		// algorithm only.
+		return Plan{}, fmt.Errorf("algo %q samples raw rows and has no resident index; use assocfind -algo bps", force)
 	default:
 		return Plan{}, fmt.Errorf("unknown algo %q (want auto, mlsh, kmh or mh)", force)
 	}

@@ -55,6 +55,10 @@ func TestChoosePlan(t *testing.T) {
 		{"force-kmh", 0.9, both, "kmh", PlanKMHScan, false},
 		{"force-mh", 0.9, both, "mh", PlanMHSort, false},
 		{"force-missing-index", 0.9, sigOnly, "kmh", "", true},
+		// bps is a batch-only algorithm — it samples the raw rows, which
+		// are not resident — so forcing it is rejected even when every
+		// index is warm.
+		{"force-bps-rejected", 0.9, both, "bps", "", true},
 		{"unknown-force", 0.9, both, "quantum", "", true},
 		{"no-index", 0.9, indexInfo{}, "", "", true},
 	}

@@ -83,6 +83,9 @@ const (
 	CounterFaultsInjected       = obs.CounterFaultsInjected
 	CounterPackedWords          = obs.CounterPackedWords
 	CounterPackedBatches        = obs.CounterPackedBatches
+	CounterPairsSampled         = obs.CounterPairsSampled
+	CounterSampleAccepts        = obs.CounterSampleAccepts
+	CounterSampleDups           = obs.CounterSampleDups
 	CounterRowsAppended         = obs.CounterRowsAppended
 	CounterStatesMerged         = obs.CounterStatesMerged
 	CounterWindowsExpired       = obs.CounterWindowsExpired

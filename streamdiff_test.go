@@ -59,6 +59,15 @@ func comparePairSections(t *testing.T, got, want Stats) {
 	if got.VerifyTouches != want.VerifyTouches {
 		t.Errorf("VerifyTouches = %d, want %d", got.VerifyTouches, want.VerifyTouches)
 	}
+	if got.PairsSampled != want.PairsSampled {
+		t.Errorf("PairsSampled = %d, want %d", got.PairsSampled, want.PairsSampled)
+	}
+	if got.SampleAccepts != want.SampleAccepts {
+		t.Errorf("SampleAccepts = %d, want %d", got.SampleAccepts, want.SampleAccepts)
+	}
+	if got.SampleDups != want.SampleDups {
+		t.Errorf("SampleDups = %d, want %d", got.SampleDups, want.SampleDups)
+	}
 }
 
 // TestStreamedPipelineMatchesInMemory is the differential harness for
