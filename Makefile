@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check statcheck streamcheck chaoscheck packedcheck compresscheck incrcheck servecheck bpscheck race race-all vet fmt bench bench-json benchdiff experiments experiments-full serve-bench serve-benchdiff fuzz clean
+.PHONY: all build test check statcheck streamcheck chaoscheck packedcheck compresscheck incrcheck servecheck bpscheck distcheck race race-all vet fmt bench bench-json benchdiff experiments experiments-full serve-bench serve-benchdiff scale-bench scale-benchdiff fuzz clean
 
 all: build vet test
 
@@ -12,7 +12,7 @@ build:
 test:
 	$(GO) test ./...
 
-check: build vet test race statcheck streamcheck chaoscheck packedcheck compresscheck incrcheck servecheck bpscheck
+check: build vet test race statcheck streamcheck chaoscheck packedcheck compresscheck incrcheck servecheck bpscheck distcheck
 
 # The statistical-accuracy suite (recall / false-positive-rate bounds
 # on seeded synthetic matrices; deterministic).
@@ -77,6 +77,16 @@ bpscheck:
 	$(GO) test -race -run 'TestBPS' ./internal/statstest
 	$(GO) test -race -run 'TestGoldenOutput/bps|TestGoldenOutput/stream-bps|TestParseAlgo' ./cmd/assocfind
 
+# The distributed-executor differential suite under the race detector:
+# coordinator + worker subprocesses bit-identical to the single-process
+# drivers for every scheme, worker count and file format — including a
+# worker killed mid-shard and restarted — plus hang detection,
+# cancellation teardown, the restart budget, the wire-protocol codecs,
+# and the byte-identical CLI harness behind `assocfind -dist-workers`.
+distcheck:
+	$(GO) test -race ./internal/dist
+	$(GO) test -race -run 'TestDist' ./cmd/assocfind
+
 # The resident-service suite under the race detector: concurrent
 # clients byte-identical to direct library calls, 1000 queries held in
 # flight, shutdown draining, hot refresh under load, golden HTTP
@@ -122,6 +132,23 @@ experiments:
 
 experiments-full:
 	$(GO) run ./cmd/experiments -scale full
+
+# Time the multi-process executor over the 10M-row Zipfian scale tier
+# (1 worker vs 4) into BENCH_scale.json. On machines with fewer than 4
+# cores the 4-worker row is recorded as skipped.
+scale-bench:
+	$(GO) run ./cmd/benchjson -scale -out BENCH_scale.json
+
+# Re-run the scale tier and fail on >15% regression — or a 4-worker
+# speedup below 2.5x where measurable — against the committed
+# BENCH_scale.json. `make scale-benchdiff UPDATE=1` accepts the fresh
+# numbers instead.
+scale-benchdiff:
+ifdef UPDATE
+	$(GO) run ./cmd/benchjson -scale -against BENCH_scale.json -update -out BENCH_scale.json
+else
+	$(GO) run ./cmd/benchjson -scale -against BENCH_scale.json -out /dev/null
+endif
 
 # Short fuzz pass over the codecs and dataset parsers.
 fuzz:

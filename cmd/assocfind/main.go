@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"assocmine"
+	"assocmine/internal/dist"
 )
 
 type options struct {
@@ -56,6 +57,8 @@ type options struct {
 	appendState string
 	resumeState string
 	window      int
+	distWorkers int
+	worker      bool
 	metrics     bool
 	progress    bool
 	metricsAddr string
@@ -89,6 +92,8 @@ func main() {
 	flag.StringVar(&o.appendState, "append", "", "incremental: maintain an ingest snapshot at this path — catch up on the input's unseen rows (O(new rows), creating the snapshot if missing), save it back, then query from the merged sketch (mh, mlsh, kmh)")
 	flag.StringVar(&o.resumeState, "resume", "", "incremental: like -append but read-only — load the snapshot and catch up in memory without rewriting it")
 	flag.IntVar(&o.window, "window", 0, "sliding window: with -append/-resume, keep only the last N catch-up batches live; otherwise mine only the trailing N rows of the input (mh, kmh, mlsh, brute)")
+	flag.IntVar(&o.distWorkers, "dist-workers", 0, "scale out across this many worker subprocesses (requires -stream; mh, kmh, mlsh, bps). Output is bit-identical to the single-process run")
+	flag.BoolVar(&o.worker, "worker", false, "internal: run as a scale-out worker subprocess, speaking the dist protocol on stdin/stdout (used by -dist-workers)")
 	flag.BoolVar(&o.metrics, "metrics", false, "print per-phase metrics in Prometheus text format after the run")
 	flag.BoolVar(&o.progress, "progress", false, "report per-phase progress on stderr while mining")
 	flag.StringVar(&o.metricsAddr, "metrics-addr", "", "serve /metrics and /debug/vars on this address while running (e.g. :8080)")
@@ -96,6 +101,13 @@ func main() {
 	flag.StringVar(&o.memprofile, "memprofile", "", "write a heap profile to this file at exit")
 	flag.StringVar(&o.tracefile, "trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
+	if o.worker {
+		if err := dist.WorkerMain(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "assocfind:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if o.in == "" {
 		fmt.Fprintln(os.Stderr, "assocfind: -in is required")
 		flag.Usage()
@@ -134,6 +146,17 @@ func run(o options) error {
 	}
 	if incr := o.appendState != "" || o.resumeState != ""; incr && (o.doRules || o.txns) {
 		return errors.New("-append/-resume cannot be combined with -rules or -transactions")
+	}
+	if o.distWorkers > 0 {
+		if !o.stream {
+			return errors.New("-dist-workers requires -stream")
+		}
+		if o.doRules || o.txns || o.appendState != "" || o.resumeState != "" || o.window != 0 || o.clusters {
+			return errors.New("-dist-workers cannot be combined with -rules, -transactions, -append, -resume, -window or -clusters")
+		}
+		if o.memBudget != "" {
+			return errors.New("-dist-workers cannot be combined with -mem-budget")
+		}
 	}
 	stopDiag, err := startDiagnostics(o)
 	if err != nil {
@@ -234,6 +257,16 @@ func run(o options) error {
 	if o.progress {
 		cfg.Progress = progressPrinter(os.Stderr)
 	}
+	if o.distWorkers > 0 {
+		if err := runDist(o, a, cfg, coll, label); err != nil {
+			return err
+		}
+		if o.metrics {
+			fmt.Println("metrics:")
+			return assocmine.WriteMetrics(os.Stdout, coll)
+		}
+		return nil
+	}
 	var res *assocmine.Result
 	switch {
 	case o.appendState != "" || o.resumeState != "":
@@ -281,6 +314,69 @@ func run(o options) error {
 		if err := assocmine.WriteMetrics(os.Stdout, coll); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// runDist routes the streamed run through the multi-process scale-out
+// executor: the coordinator re-execs this binary with -worker for each
+// subprocess. Printing matches the single-process path exactly (and so
+// does the output, pair for pair and bit for bit).
+func runDist(o options, a assocmine.Algorithm, cfg assocmine.Config, coll *assocmine.Collector, label func(int) string) error {
+	var algo dist.Algo
+	switch a {
+	case assocmine.MinHash:
+		algo = dist.MinHash
+	case assocmine.KMinHash:
+		algo = dist.KMinHash
+	case assocmine.MinLSH:
+		algo = dist.MinLSH
+	case assocmine.BPS:
+		algo = dist.BPS
+	default:
+		return fmt.Errorf("-dist-workers supports mh, kmh, mlsh and bps; %v runs single-process only", a)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	dcfg := dist.Config{
+		Path:         o.in,
+		Algorithm:    algo,
+		Threshold:    o.threshold,
+		K:            o.k,
+		R:            o.r,
+		L:            o.l,
+		SampleBudget: o.budget,
+		Seed:         o.seed,
+		Workers:      o.distWorkers,
+		WorkerArgv:   []string{exe, "-worker"},
+		Context:      cfg.Context,
+	}
+	if coll != nil {
+		dcfg.Recorder = coll
+	}
+	res, err := dist.Run(dcfg)
+	if err != nil {
+		if o.timeout > 0 && errors.Is(err, context.DeadlineExceeded) {
+			return fmt.Errorf("mining timed out after %v", o.timeout)
+		}
+		return err
+	}
+	fmt.Printf("%d similar pairs (similarity >= %.2f) via %v:\n", len(res.Pairs), o.threshold, a)
+	for i, p := range res.Pairs {
+		if o.top > 0 && i >= o.top {
+			fmt.Printf("  ... and %d more\n", len(res.Pairs)-o.top)
+			break
+		}
+		fmt.Printf("  (%s, %s)  sim=%.3f\n", label(p.I), label(p.J), p.Similarity)
+	}
+	if o.stats {
+		s := res.Stats
+		fmt.Printf("phases: signatures %v, candidates %v (%d pairs), verification %v (%d kept); total %v\n",
+			s.SignatureTime, s.CandidateTime, s.Candidates, s.VerifyTime, s.Verified, s.Total())
+		fmt.Printf("dist: %d worker processes (%d restarts), %d jobs, %s shipped\n",
+			s.Workers, s.Restarts, s.Jobs, formatBytes(s.BytesShipped))
 	}
 	return nil
 }

@@ -50,6 +50,8 @@ func main() {
 		sketchPath  = flag.String("sketches", "", "preload sketches from this KMC1 file instead of computing (disables /v1/refresh)")
 		snapMH      = flag.String("snapshot-mh", "", "AIN1 ingest snapshot for the signature index: resumed at startup, saved after every catch-up")
 		snapKMH     = flag.String("snapshot-kmh", "", "AIN1 ingest snapshot for the sketch index")
+		cacheSize   = flag.Int("cache", 256, "response cache entries for read-only queries; 0 disables")
+		refreshInt  = flag.Duration("refresh-interval", 0, "poll -in at this interval and fold appended rows automatically; 0 disables")
 		drainwindow = flag.Duration("drain", 30*time.Second, "how long shutdown waits for in-flight queries")
 	)
 	flag.Parse()
@@ -63,7 +65,8 @@ func main() {
 		timeout: *timeout, maxTimeout: *maxTimeout, memBudget: *memBudget,
 		spillDir: *spillDir, maxTopK: *maxTopK,
 		sigPath: *sigPath, sketchPath: *sketchPath,
-		snapMH: *snapMH, snapKMH: *snapKMH, drain: *drainwindow,
+		snapMH: *snapMH, snapKMH: *snapKMH,
+		cacheSize: *cacheSize, refreshInterval: *refreshInt, drain: *drainwindow,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "assocserve:", err)
 		os.Exit(1)
@@ -80,6 +83,8 @@ type options struct {
 	maxTopK             int
 	sigPath, sketchPath string
 	snapMH, snapKMH     string
+	cacheSize           int
+	refreshInterval     time.Duration
 	drain               time.Duration
 }
 
@@ -93,6 +98,13 @@ func run(in, addr string, o options) error {
 		DefaultTimeout: o.timeout, MaxTimeout: o.maxTimeout,
 		MemoryBudget: budget, SpillDir: o.spillDir, MaxTopK: o.maxTopK,
 		SnapshotMH: o.snapMH, SnapshotKMH: o.snapKMH,
+		RefreshInterval: o.refreshInterval,
+	}
+	// CLI semantics: 0 disables; the library treats 0 as "default".
+	if o.cacheSize <= 0 {
+		opts.CacheSize = -1
+	} else {
+		opts.CacheSize = o.cacheSize
 	}
 	if o.sigPath != "" {
 		if opts.Signatures, err = assocmine.LoadSignatures(o.sigPath); err != nil {

@@ -23,6 +23,7 @@ import (
 	"assocmine"
 	"assocmine/internal/bps"
 	"assocmine/internal/candidate"
+	"assocmine/internal/dist"
 	"assocmine/internal/gen"
 	"assocmine/internal/kminhash"
 	"assocmine/internal/lsh"
@@ -106,16 +107,35 @@ type report struct {
 
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_pipeline.json", "output file (- for stdout)")
-		rows    = flag.Int("rows", 2000, "synthetic matrix rows")
-		cols    = flag.Int("cols", 400, "synthetic matrix columns")
-		k       = flag.Int("k", 50, "signature size")
-		workers = flag.Int("workers", 4, "worker count for the parallel runs")
-		kernel  = flag.String("kernel", "auto", "verification kernel for the pipeline runs: auto | packed | scalar")
-		against = flag.String("against", "", "baseline report to compare phases against; >15% ns/op regression fails")
-		update  = flag.Bool("update", false, "with -against: rewrite the baseline instead of failing on regression")
+		out       = flag.String("out", "BENCH_pipeline.json", "output file (- for stdout)")
+		rows      = flag.Int("rows", 2000, "synthetic matrix rows")
+		cols      = flag.Int("cols", 400, "synthetic matrix columns")
+		k         = flag.Int("k", 50, "signature size")
+		workers   = flag.Int("workers", 4, "worker count for the parallel runs")
+		kernel    = flag.String("kernel", "auto", "verification kernel for the pipeline runs: auto | packed | scalar")
+		against   = flag.String("against", "", "baseline report to compare phases against; >15% ns/op regression fails")
+		update    = flag.Bool("update", false, "with -against: rewrite the baseline instead of failing on regression")
+		scale     = flag.Bool("scale", false, "run the distributed scale tier (multi-process dist.Run over a Zipfian dataset) instead of the phase benchmarks")
+		scaleRows = flag.Int("scale-rows", 10_000_000, "scale tier rows")
+		scaleCols = flag.Int("scale-cols", 65536, "scale tier columns")
+		scaleKind = flag.String("scale-kind", "market", "scale tier row shape: market | clicks")
+		worker    = flag.Bool("worker", false, "internal: run as a scale-tier worker subprocess")
 	)
 	flag.Parse()
+	if *worker {
+		if err := dist.WorkerMain(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson worker:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *scale {
+		if err := runScale(*out, *scaleKind, *scaleRows, *scaleCols, *against, *update); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	vk, err := assocmine.ParseKernel(*kernel)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

@@ -1,0 +1,212 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"assocmine/internal/dist"
+	"assocmine/internal/gen"
+	"assocmine/internal/matrix"
+)
+
+// The scale tier: a seeded Zipfian dataset mined end to end through
+// the multi-process executor, timed at one worker and at
+// scaleWorkersWide workers. Unlike the phase benchmarks (in-memory
+// goroutine fan-out), this measures real subprocess scale-out: pipe
+// protocol, sketch merge and candidate union included. The wide row
+// must beat the 1-worker row by scaleSpeedupFloor — but only on
+// machines with enough cores to measure it; elsewhere the row is
+// recorded as skipped with the core count, and the gate stays off.
+const (
+	scaleWorkersWide  = 4
+	scaleSpeedupFloor = 2.5
+	scaleK            = 64
+	scaleThreshold    = 0.6
+	scaleSeed         = 7
+)
+
+// scaleRun is one timed dist.Run at a given worker count.
+type scaleRun struct {
+	Workers      int    `json:"workers"`
+	NsOp         int64  `json:"ns_op,omitempty"`
+	Pairs        int    `json:"pairs,omitempty"`
+	BytesShipped int64  `json:"bytes_shipped,omitempty"`
+	Restarts     int    `json:"restarts,omitempty"`
+	Skipped      bool   `json:"skipped,omitempty"`
+	Reason       string `json:"reason,omitempty"`
+}
+
+type scaleReport struct {
+	Kind      string     `json:"kind"`
+	Rows      int        `json:"rows"`
+	Cols      int        `json:"cols"`
+	K         int        `json:"k"`
+	Threshold float64    `json:"threshold"`
+	Seed      uint64     `json:"seed"`
+	NumCPU    int        `json:"numcpu"`
+	FileBytes int64      `json:"file_bytes"`
+	Runs      []scaleRun `json:"runs"`
+	// Speedup is the 1-worker time over the wide-row time; 0 when the
+	// wide row was skipped for lack of cores.
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+func runScale(out, kind string, rows, cols int, against string, update bool) error {
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: scale tier %s %d x %d, k=%d threshold=%.2f, numcpu=%d\n",
+		kind, rows, cols, scaleK, scaleThreshold, runtime.NumCPU())
+	dir, err := os.MkdirTemp("", "benchjson-scale-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	path := dir + "/tier.arows"
+	src := &gen.ZipfSource{Kind: kind, Rows: rows, Cols: cols, Seed: scaleSeed}
+	start := time.Now()
+	if err := matrix.SaveRowBinary(path, src); err != nil {
+		return err
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: generated %s (%d bytes) in %s\n",
+		path, info.Size(), time.Since(start).Round(time.Millisecond))
+	rep := scaleReport{
+		Kind: kind, Rows: rows, Cols: cols,
+		K: scaleK, Threshold: scaleThreshold, Seed: scaleSeed,
+		NumCPU:    runtime.NumCPU(),
+		FileBytes: info.Size(),
+	}
+	for _, w := range []int{1, scaleWorkersWide} {
+		if w > 1 && runtime.NumCPU() < w {
+			reason := fmt.Sprintf("numcpu=%d < %d workers: multi-process speedup is not measurable on this machine",
+				runtime.NumCPU(), w)
+			rep.Runs = append(rep.Runs, scaleRun{Workers: w, Skipped: true, Reason: reason})
+			fmt.Fprintf(os.Stderr, "scale/workers=%d  skipped: %s\n", w, reason)
+			continue
+		}
+		res, ns, err := timedDistRun(path, exe, w)
+		if err != nil {
+			return fmt.Errorf("scale workers=%d: %w", w, err)
+		}
+		rep.Runs = append(rep.Runs, scaleRun{
+			Workers: w, NsOp: ns, Pairs: len(res.Pairs),
+			BytesShipped: res.Stats.BytesShipped, Restarts: res.Stats.Restarts,
+		})
+		fmt.Fprintf(os.Stderr, "scale/workers=%d  %14d ns/run  %d candidate pairs  %d bytes shipped\n",
+			w, ns, len(res.Pairs), res.Stats.BytesShipped)
+	}
+	if len(rep.Runs) == 2 && !rep.Runs[0].Skipped && !rep.Runs[1].Skipped {
+		rep.Speedup = float64(rep.Runs[0].NsOp) / float64(rep.Runs[1].NsOp)
+		fmt.Fprintf(os.Stderr, "scale: %d workers %.2fx faster than 1\n", scaleWorkersWide, rep.Speedup)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if against != "" {
+		if err := compareScaleBaseline(against, rep, buf, update); err != nil {
+			return err
+		}
+	}
+	if out == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(out, buf, 0o644)
+}
+
+// timedDistRun mines the tier once through the distributed executor,
+// candidates only: verification cost is identical at every worker
+// count on a pre-verified candidate set, so the skip keeps the timing
+// focused on the phases the partitioning actually changes.
+func timedDistRun(path, exe string, workers int) (*dist.Result, int64, error) {
+	cfg := dist.Config{
+		Path:      path,
+		Algorithm: dist.MinHash,
+		Threshold: scaleThreshold,
+		K:         scaleK,
+		Seed:      scaleSeed,
+		Workers:   workers,
+		WorkerArgv: []string{
+			exe, "-worker",
+		},
+		SkipVerify: true,
+	}
+	start := time.Now()
+	res, err := dist.Run(cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res, time.Since(start).Nanoseconds(), nil
+}
+
+// compareScaleBaseline gates the scale tier against a committed
+// report: any non-skipped run regressing past regressionTolerance
+// fails, like the phase gate; and when this machine actually measured
+// the wide row, its speedup must clear scaleSpeedupFloor.
+func compareScaleBaseline(path string, rep scaleReport, buf []byte, update bool) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base scaleReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	sameTier := base.Kind == rep.Kind && base.Rows == rep.Rows &&
+		base.Cols == rep.Cols && base.K == rep.K
+	if !sameTier {
+		fmt.Fprintf(os.Stderr, "benchjson: baseline %s is a different tier (%s %dx%d k=%d); ns comparisons skipped\n",
+			path, base.Kind, base.Rows, base.Cols, base.K)
+	}
+	old := make(map[int]scaleRun, len(base.Runs))
+	for _, r := range base.Runs {
+		old[r.Workers] = r
+	}
+	var failures []string
+	for _, r := range rep.Runs {
+		if !sameTier {
+			break
+		}
+		if r.Skipped {
+			continue
+		}
+		b, ok := old[r.Workers]
+		if !ok || b.Skipped || b.NsOp == 0 {
+			continue
+		}
+		if float64(r.NsOp) > float64(b.NsOp)*regressionTolerance {
+			failures = append(failures, fmt.Sprintf(
+				"scale/workers=%d: %d ns vs baseline %d (%.0f%% slower)",
+				r.Workers, r.NsOp, b.NsOp, 100*(float64(r.NsOp)/float64(b.NsOp)-1)))
+		}
+	}
+	if rep.Speedup > 0 && rep.Speedup < scaleSpeedupFloor {
+		failures = append(failures, fmt.Sprintf(
+			"scale: %d-worker speedup %.2fx is below the %.1fx floor",
+			scaleWorkersWide, rep.Speedup, scaleSpeedupFloor))
+	}
+	if len(failures) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: scale tier within %.0f%% of %s\n",
+			(regressionTolerance-1)*100, path)
+		return nil
+	}
+	for _, f := range failures {
+		fmt.Fprintln(os.Stderr, "benchjson: REGRESSION:", f)
+	}
+	if update {
+		fmt.Fprintf(os.Stderr, "benchjson: -update set, rewriting %s with fresh numbers\n", path)
+		return os.WriteFile(path, buf, 0o644)
+	}
+	return fmt.Errorf("%d scale check(s) failed vs %s (rerun with -update to accept)",
+		len(failures), path)
+}

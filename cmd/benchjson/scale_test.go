@@ -1,0 +1,141 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"assocmine/internal/dist"
+)
+
+// TestMain lets the test binary stand in for the benchjson worker:
+// runScale re-execs os.Executable() with -worker.
+func TestMain(m *testing.M) {
+	for _, a := range os.Args[1:] {
+		if a == "-worker" {
+			if err := dist.WorkerMain(os.Stdin, os.Stdout); err != nil {
+				os.Exit(1)
+			}
+			os.Exit(0)
+		}
+	}
+	os.Exit(m.Run())
+}
+
+// TestRunScaleSmall drives the full scale mode on a miniature tier:
+// generation, the timed dist runs, the JSON report, and the baseline
+// self-comparison (a report can never regress against itself).
+func TestRunScaleSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker subprocesses")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_scale.json")
+	if err := runScale(out, "market", 3000, 500, "", false); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep scaleReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rows != 3000 || rep.Cols != 500 || rep.Kind != "market" {
+		t.Fatalf("report header: %+v", rep)
+	}
+	if len(rep.Runs) != 2 {
+		t.Fatalf("%d runs, want 2", len(rep.Runs))
+	}
+	if rep.Runs[0].Workers != 1 || rep.Runs[0].Skipped || rep.Runs[0].NsOp <= 0 {
+		t.Fatalf("1-worker run: %+v", rep.Runs[0])
+	}
+	wide := rep.Runs[1]
+	if wide.Workers != scaleWorkersWide {
+		t.Fatalf("wide run workers = %d", wide.Workers)
+	}
+	if wide.Skipped {
+		if wide.Reason == "" {
+			t.Error("skipped wide run has no reason")
+		}
+		if rep.Speedup != 0 {
+			t.Errorf("speedup %.2f recorded despite skipped wide run", rep.Speedup)
+		}
+	} else if wide.NsOp <= 0 {
+		t.Fatalf("wide run: %+v", wide)
+	}
+	// Self-comparison: identical numbers can neither regress nor, on a
+	// box that skipped the wide row, trip the speedup floor. (Compared
+	// report-vs-file, not rerun: tiny tiers jitter past the tolerance.)
+	if err := compareScaleBaseline(out, rep, raw, false); err != nil {
+		t.Fatalf("self-comparison: %v", err)
+	}
+}
+
+func scaleFixture(speedup float64, wideSkipped bool) scaleReport {
+	rep := scaleReport{
+		Kind: "market", Rows: 1000, Cols: 100, NumCPU: 8,
+		Runs: []scaleRun{{Workers: 1, NsOp: 1_000_000}},
+	}
+	if wideSkipped {
+		rep.Runs = append(rep.Runs, scaleRun{Workers: scaleWorkersWide, Skipped: true, Reason: "numcpu"})
+	} else {
+		rep.Runs = append(rep.Runs, scaleRun{Workers: scaleWorkersWide, NsOp: int64(1_000_000 / speedup)})
+		rep.Speedup = speedup
+	}
+	return rep
+}
+
+func writeScale(t *testing.T, rep scaleReport) string {
+	t.Helper()
+	buf, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareScaleBaseline(t *testing.T) {
+	base := scaleFixture(3.0, false)
+	path := writeScale(t, base)
+
+	if err := compareScaleBaseline(path, scaleFixture(3.0, false), nil, false); err != nil {
+		t.Errorf("identical report failed the gate: %v", err)
+	}
+
+	// A measured wide row below the floor fails.
+	if err := compareScaleBaseline(path, scaleFixture(1.2, false), nil, false); err == nil {
+		t.Error("speedup below the floor passed the gate")
+	}
+
+	// A skipped wide row never trips the floor or the per-row check.
+	if err := compareScaleBaseline(path, scaleFixture(0, true), nil, false); err != nil {
+		t.Errorf("skipped wide row failed the gate: %v", err)
+	}
+
+	// A slower 1-worker row regresses.
+	slow := scaleFixture(3.0, false)
+	slow.Runs[0].NsOp = 2_000_000
+	if err := compareScaleBaseline(path, slow, nil, false); err == nil {
+		t.Error("2x slower run passed the gate")
+	}
+
+	// -update rewrites the baseline instead of failing.
+	buf, _ := json.Marshal(slow)
+	if err := compareScaleBaseline(path, slow, buf, true); err != nil {
+		t.Errorf("-update still failed: %v", err)
+	}
+	raw, _ := os.ReadFile(path)
+	var rewritten scaleReport
+	if err := json.Unmarshal(raw, &rewritten); err != nil {
+		t.Fatal(err)
+	}
+	if rewritten.Runs[0].NsOp != 2_000_000 {
+		t.Error("baseline was not rewritten")
+	}
+}

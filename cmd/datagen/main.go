@@ -16,16 +16,19 @@ import (
 	"strings"
 
 	"assocmine"
+	"assocmine/internal/gen"
+	"assocmine/internal/matrix"
 )
 
 func main() {
 	var (
-		kind  = flag.String("kind", "synthetic", "dataset kind: synthetic | weblog | news | quest")
-		rows  = flag.Int("rows", 10000, "rows (baskets / clients / documents)")
-		cols  = flag.Int("cols", 1000, "columns (items / URLs / background vocabulary)")
-		seed  = flag.Uint64("seed", 1, "random seed")
-		out   = flag.String("out", "", "output path (.amx = column binary, .arows = streaming binary, .carows = compressed streaming, else text)")
-		words = flag.String("words", "", "news only: also write the column vocabulary here")
+		kind    = flag.String("kind", "synthetic", "dataset kind: synthetic | weblog | news | quest | market | clicks")
+		rows    = flag.Int("rows", 10000, "rows (baskets / clients / documents)")
+		cols    = flag.Int("cols", 1000, "columns (items / URLs / background vocabulary)")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		out     = flag.String("out", "", "output path (.amx = column binary, .arows = streaming binary, .carows = compressed streaming, else text)")
+		words   = flag.String("words", "", "news only: also write the column vocabulary here")
+		meanLen = flag.Int("mean-len", 0, "market/clicks only: mean row length (0 = default)")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -33,13 +36,56 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*kind, *rows, *cols, *seed, *out, *words); err != nil {
+	if err := run(*kind, *rows, *cols, *seed, *out, *words, *meanLen); err != nil {
 		fmt.Fprintln(os.Stderr, "datagen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(kind string, rows, cols int, seed uint64, out, words string) error {
+// onesCounting wraps a streaming source so the save pass also tallies
+// the ones for the summary line without a second scan.
+type onesCounting struct {
+	matrix.RowSource
+	ones int64
+}
+
+func (c *onesCounting) Scan(fn func(row int, cols []int32) error) error {
+	c.ones = 0
+	return c.RowSource.Scan(func(row int, cols []int32) error {
+		c.ones += int64(len(cols))
+		return fn(row, cols)
+	})
+}
+
+// runStream handles the scale-tier kinds, which never materialise a
+// Dataset: rows stream from the seeded generator straight into the
+// row-binary savers, so 10M+ row tiers cost constant memory.
+func runStream(kind string, rows, cols int, seed uint64, out string, meanLen int) error {
+	src := &onesCounting{RowSource: &gen.ZipfSource{
+		Kind: kind, Rows: rows, Cols: cols, Seed: seed, MeanRowLen: meanLen,
+	}}
+	var err error
+	switch {
+	case strings.HasSuffix(out, ".carows"):
+		err = matrix.SaveRowCompressed(out, src)
+	case strings.HasSuffix(out, ".arows"):
+		err = matrix.SaveRowBinary(out, src)
+	default:
+		return fmt.Errorf("kind %q streams rows; -out must end in .arows or .carows", kind)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d rows x %d cols, Zipf(s=1.1) column popularity\n", kind, rows, cols)
+	fmt.Printf("wrote %s (%d ones, density %.4f%%)\n", out, src.ones,
+		100*float64(src.ones)/(float64(rows)*float64(cols)))
+	return nil
+}
+
+func run(kind string, rows, cols int, seed uint64, out, words string, meanLen int) error {
+	if kind == "market" || kind == "clicks" {
+		return runStream(kind, rows, cols, seed, out, meanLen)
+	}
 	var data *assocmine.Dataset
 	switch kind {
 	case "synthetic":
@@ -86,7 +132,7 @@ func run(kind string, rows, cols int, seed uint64, out, words string) error {
 			}
 		}
 	default:
-		return fmt.Errorf("unknown kind %q (want synthetic, weblog or news)", kind)
+		return fmt.Errorf("unknown kind %q (want synthetic, weblog, news, quest, market or clicks)", kind)
 	}
 	var err error
 	switch {

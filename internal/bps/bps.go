@@ -179,27 +179,14 @@ func (s *sampler) row(row int, cols []int32) error {
 // rejected with an error.
 func Sample(src matrix.RowSource, sup []int64, opt Options) ([]pairs.Scored, Stats, error) {
 	var st Stats
-	if opt.Threshold <= 0 || opt.Threshold > 1 {
-		return nil, st, fmt.Errorf("bps: Threshold must be in (0,1], got %v", opt.Threshold)
-	}
-	if opt.Delta < 0 || opt.Delta >= 1 {
-		return nil, st, fmt.Errorf("bps: Delta must be in [0,1), got %v", opt.Delta)
-	}
-	if opt.Budget < 1 {
-		return nil, st, fmt.Errorf("bps: Budget must be >= 1, got %d", opt.Budget)
+	if err := validateOptions(opt); err != nil {
+		return nil, st, err
 	}
 	workers := opt.Workers
 	if workers < 1 {
 		workers = 1
 	}
-	var smax int64
-	for _, s := range sup {
-		if s > smax {
-			smax = s
-		}
-	}
-	pScale := float64(opt.Budget) * (1 + opt.Threshold) * float64(smax) / (2 * opt.Threshold)
-	seedMix := hashing.Mix64(opt.Seed ^ 0xb5ad4eceda1ce2a9)
+	pScale, seedMix := sampleParams(sup, opt)
 
 	var counts map[uint64]int64
 	if workers <= 1 {
@@ -256,7 +243,43 @@ func Sample(src matrix.RowSource, sup []int64, opt Options) ([]pairs.Scored, Sta
 		st.Accepts += n
 	}
 	st.Dups = st.Accepts - int64(len(counts))
+	return finalize(counts, sup, opt, pScale), st, nil
+}
 
+// validateOptions rejects out-of-range sampling parameters; shared by
+// Sample and the split SampleCounts/FinalizeCounts entry points.
+func validateOptions(opt Options) error {
+	if opt.Threshold <= 0 || opt.Threshold > 1 {
+		return fmt.Errorf("bps: Threshold must be in (0,1], got %v", opt.Threshold)
+	}
+	if opt.Delta < 0 || opt.Delta >= 1 {
+		return fmt.Errorf("bps: Delta must be in [0,1), got %v", opt.Delta)
+	}
+	if opt.Budget < 1 {
+		return fmt.Errorf("bps: Budget must be >= 1, got %d", opt.Budget)
+	}
+	return nil
+}
+
+// sampleParams derives the acceptance scale Δ = λ·(1+s*)·S_max/(2·s*)
+// and the split seed from the GLOBAL supports — every scan partition
+// must use the same pair, or accept decisions diverge.
+func sampleParams(sup []int64, opt Options) (pScale float64, seedMix uint64) {
+	var smax int64
+	for _, s := range sup {
+		if s > smax {
+			smax = s
+		}
+	}
+	pScale = float64(opt.Budget) * (1 + opt.Threshold) * float64(smax) / (2 * opt.Threshold)
+	seedMix = hashing.Mix64(opt.Seed ^ 0xb5ad4eceda1ce2a9)
+	return pScale, seedMix
+}
+
+// finalize applies the (1-Delta) count filter and the unbiased
+// similarity estimate to the merged counts, returning candidates
+// sorted by (I, J) — the exact tail of Sample.
+func finalize(counts map[uint64]int64, sup []int64, opt Options, pScale float64) []pairs.Scored {
 	out := make([]pairs.Scored, 0, len(counts))
 	for key, n := range counts {
 		i := int32(key >> 32)
@@ -292,5 +315,52 @@ func Sample(src matrix.RowSource, sup []int64, opt Options) ([]pairs.Scored, Sta
 		}
 		return out[a].J < out[b].J
 	})
-	return out, st, nil
+	return out
+}
+
+// SampleCounts runs the sampling scan serially over src — typically a
+// row-range view of the full dataset — and returns the raw per-pair
+// accepted counts (keyed uint32(i)<<32|uint32(j), i < j) plus the
+// inspected-draw count. sup must be the supports of the FULL dataset:
+// the acceptance scale depends on the global S_max and per-column
+// supports, so a partial supports slice would change accept decisions.
+// Accept decisions are pure (seed, row, pair) hashes, so counts from
+// any row partition merged with MergeCounts equal a full-scan's counts
+// exactly — the identity the scale-out executor's workers rely on.
+func SampleCounts(src matrix.RowSource, sup []int64, opt Options) (map[uint64]int64, int64, error) {
+	if err := validateOptions(opt); err != nil {
+		return nil, 0, err
+	}
+	pScale, seedMix := sampleParams(sup, opt)
+	s := newSampler(sup, pScale, seedMix)
+	if err := src.Scan(s.row); err != nil {
+		return nil, 0, err
+	}
+	return s.counts, s.inspected, nil
+}
+
+// MergeCounts folds src into dst by addition, the exact merge for
+// counts produced over disjoint row ranges.
+func MergeCounts(dst, src map[uint64]int64) {
+	for k, v := range src {
+		dst[k] += v
+	}
+}
+
+// FinalizeCounts applies Sample's candidate filter and estimator to
+// merged counts, returning candidates sorted by (I, J) and the
+// Accepts/Dups statistics (Inspected is not derivable from counts; the
+// caller sums it across partitions). Equals the tail of Sample when
+// counts are the merge of a full row partition.
+func FinalizeCounts(counts map[uint64]int64, sup []int64, opt Options) ([]pairs.Scored, Stats, error) {
+	var st Stats
+	if err := validateOptions(opt); err != nil {
+		return nil, st, err
+	}
+	pScale, _ := sampleParams(sup, opt)
+	for _, n := range counts {
+		st.Accepts += n
+	}
+	st.Dups = st.Accepts - int64(len(counts))
+	return finalize(counts, sup, opt, pScale), st, nil
 }

@@ -1,0 +1,82 @@
+package bps
+
+import (
+	"testing"
+
+	"assocmine/internal/hashing"
+	"assocmine/internal/matrix"
+)
+
+// TestSampleCountsPartitionMatchesSample proves the scale-out identity:
+// SampleCounts over disjoint row ranges, merged with MergeCounts and
+// finished with FinalizeCounts, equals one serial Sample bit for bit —
+// candidates, estimates, and the Accepts/Dups statistics.
+func TestSampleCountsPartitionMatchesSample(t *testing.T) {
+	rng := hashing.NewSplitMix64(77)
+	b := matrix.NewBuilder(240, 40)
+	for r := 0; r < 240; r++ {
+		for c := 0; c < 40; c++ {
+			if rng.Float64() < 0.12 {
+				b.Set(r, c)
+			}
+		}
+	}
+	src := b.Build().Stream()
+	sup, err := Supports(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Threshold: 0.3, Delta: 0.2, Budget: 4, Seed: 5}
+	want, wantSt, err := Sample(src, sup, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("fixture produced no candidates")
+	}
+	for _, cuts := range [][]int{{0, 240}, {0, 120, 240}, {0, 1, 17, 100, 239, 240}} {
+		merged := make(map[uint64]int64)
+		var inspected int64
+		for i := 0; i+1 < len(cuts); i++ {
+			part := &matrix.RangeSource{Src: src, From: cuts[i], To: cuts[i+1]}
+			counts, insp, err := SampleCounts(part, sup, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inspected += insp
+			MergeCounts(merged, counts)
+		}
+		got, gotSt, err := FinalizeCounts(merged, sup, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inspected != wantSt.Inspected {
+			t.Errorf("partition %v: inspected %d, want %d", cuts, inspected, wantSt.Inspected)
+		}
+		if gotSt.Accepts != wantSt.Accepts || gotSt.Dups != wantSt.Dups {
+			t.Errorf("partition %v: accepts/dups %d/%d, want %d/%d",
+				cuts, gotSt.Accepts, gotSt.Dups, wantSt.Accepts, wantSt.Dups)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("partition %v: %d candidates, want %d", cuts, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("partition %v: candidate %d = %+v, want %+v", cuts, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSampleCountsValidation covers the shared option checks on the
+// split entry points.
+func TestSampleCountsValidation(t *testing.T) {
+	src := &matrix.SliceSource{Cols: 4, Rows: [][]int32{{0, 1}}}
+	sup := []int64{1, 1, 0, 0}
+	if _, _, err := SampleCounts(src, sup, Options{Threshold: 0, Budget: 1}); err == nil {
+		t.Error("threshold 0 accepted")
+	}
+	if _, _, err := FinalizeCounts(nil, sup, Options{Threshold: 0.5, Budget: 0}); err == nil {
+		t.Error("budget 0 accepted")
+	}
+}

@@ -1,0 +1,185 @@
+// Range-restricted candidate generation for the scale-out executor:
+// the per-column emission loops of RowSortMH and HashCountKMH served
+// over arbitrary column ranges [lo, hi). Both algorithms attribute each
+// candidate pair to exactly one column (the larger index for Row-Sort's
+// j > i emission, the later column for Hash-Count's count-against-
+// earlier scheme), so disjoint column ranges partition the candidate
+// set and concatenating range outputs in range order reproduces the
+// serial output exactly — pair for pair, estimate bit for estimate bit.
+package candidate
+
+import (
+	"fmt"
+
+	"assocmine/internal/kminhash"
+	"assocmine/internal/minhash"
+	"assocmine/internal/pairs"
+)
+
+// MHRanger precomputes the Row-Sorting structures (value-sorted rows,
+// positions, run bounds) once so any column range of RowSortMH's
+// emission loop can be generated independently. Columns(a, b) followed
+// by Columns(b, c) emits exactly what one Columns(a, c) — and therefore
+// what RowSortMH over [0, m) — would. Not safe for concurrent use: the
+// counter array is shared across calls (the paper's counter-reuse
+// trick); distributed workers run one Ranger per process.
+type MHRanger struct {
+	sig      *minhash.Signatures
+	minAgree int
+	sorted   [][]int32
+	pos      [][]int32
+	runLo    [][]int32
+	runHi    [][]int32
+	counts   []int32
+	touched  []int32
+}
+
+// NewMHRanger validates cutoff and builds the shared Row-Sorting
+// tables, the one-time O(k·m log m) cost RowSortMH pays up front.
+func NewMHRanger(sig *minhash.Signatures, cutoff float64) (*MHRanger, error) {
+	if cutoff <= 0 || cutoff > 1 {
+		return nil, fmt.Errorf("candidate: cutoff must be in (0,1], got %v", cutoff)
+	}
+	k := sig.K
+	r := &MHRanger{
+		sig:      sig,
+		minAgree: ceilFrac(cutoff, k),
+		sorted:   make([][]int32, k),
+		pos:      make([][]int32, k),
+		runLo:    make([][]int32, k),
+		runHi:    make([][]int32, k),
+		counts:   make([]int32, sig.M),
+		touched:  make([]int32, 0, 256),
+	}
+	for l := 0; l < k; l++ {
+		r.sorted[l], r.pos[l], r.runLo[l], r.runHi[l] = sortRow(sig, l)
+	}
+	return r, nil
+}
+
+// Columns emits the candidates RowSortMH attributes to columns
+// [lo, hi): pairs (i, j) with lo <= i < hi and j > i agreeing in at
+// least ceil(cutoff·k) rows, in RowSortMH's exact emission order.
+func (r *MHRanger) Columns(lo, hi int) ([]pairs.Scored, Stats, error) {
+	m := r.sig.M
+	if lo < 0 || hi > m || lo > hi {
+		return nil, Stats{}, fmt.Errorf("candidate: column range [%d,%d) outside [0,%d)", lo, hi, m)
+	}
+	k := r.sig.K
+	var st Stats
+	var out []pairs.Scored
+	for i := lo; i < hi; i++ {
+		for l := 0; l < k; l++ {
+			p := r.pos[l][i]
+			if r.sig.Vals[l*m+i] == minhash.Empty {
+				continue // runs of the empty sentinel are not matches
+			}
+			for q := r.runLo[l][p]; q < r.runHi[l][p]; q++ {
+				j := r.sorted[l][q]
+				if int(j) == i {
+					continue
+				}
+				if r.counts[j] == 0 {
+					r.touched = append(r.touched, j)
+				}
+				r.counts[j]++
+				st.Increments++
+			}
+		}
+		for _, j := range r.touched {
+			if int(r.counts[j]) >= r.minAgree && int(j) > i {
+				out = append(out, pairs.Scored{
+					Pair:     pairs.Make(int32(i), j),
+					Estimate: float64(r.counts[j]) / float64(k),
+				})
+			}
+			r.counts[j] = 0
+		}
+		r.touched = r.touched[:0]
+	}
+	st.Candidates = len(out)
+	return out, st, nil
+}
+
+// KMHRanger precomputes the full ascending Hash-Count bucket table so
+// any column range of HashCountKMH's emission loop can be generated
+// independently: column i counts |SIG_i ∩ SIG_j| only against earlier
+// columns j < i, read from the prebuilt buckets' ascending prefixes.
+// Concatenating Columns outputs in range order reproduces HashCountKMH
+// exactly. Not safe for concurrent use (shared counter array).
+type KMHRanger struct {
+	s       *kminhash.Sketches
+	opt     KMHOptions
+	buckets map[uint64][]int32
+	counts  []int32
+	touched []int32
+}
+
+// NewKMHRanger validates the cutoffs and builds the bucket table, one
+// pass over the sketches in ascending column order so every bucket's
+// list is ascending.
+func NewKMHRanger(s *kminhash.Sketches, opt KMHOptions) (*KMHRanger, error) {
+	if opt.BiasedCutoff <= 0 || opt.BiasedCutoff > 1 {
+		return nil, fmt.Errorf("candidate: biased cutoff must be in (0,1], got %v", opt.BiasedCutoff)
+	}
+	if opt.UnbiasedCutoff < 0 || opt.UnbiasedCutoff > 1 {
+		return nil, fmt.Errorf("candidate: unbiased cutoff must be in [0,1], got %v", opt.UnbiasedCutoff)
+	}
+	m := len(s.Sigs)
+	r := &KMHRanger{
+		s:       s,
+		opt:     opt,
+		buckets: make(map[uint64][]int32, m*min(s.K, 8)),
+		counts:  make([]int32, m),
+		touched: make([]int32, 0, 256),
+	}
+	for i := 0; i < m; i++ {
+		for _, v := range s.Sigs[i] {
+			r.buckets[v] = append(r.buckets[v], int32(i))
+		}
+	}
+	return r, nil
+}
+
+// Columns emits the candidates HashCountKMH attributes to columns
+// [lo, hi): for each i in the range, pairs (j, i) with j < i surviving
+// the biased-then-unbiased cascade, in HashCountKMH's exact emission
+// order (bucket walk order equals the serial build's append order).
+func (r *KMHRanger) Columns(lo, hi int) ([]pairs.Scored, Stats, error) {
+	m := len(r.s.Sigs)
+	if lo < 0 || hi > m || lo > hi {
+		return nil, Stats{}, fmt.Errorf("candidate: column range [%d,%d) outside [0,%d)", lo, hi, m)
+	}
+	var st Stats
+	var out []pairs.Scored
+	for i := lo; i < hi; i++ {
+		ii := int32(i)
+		for _, v := range r.s.Sigs[i] {
+			for _, j := range r.buckets[v] {
+				if j >= ii {
+					break // ascending lists: the rest are not earlier columns
+				}
+				if r.counts[j] == 0 {
+					r.touched = append(r.touched, j)
+				}
+				r.counts[j]++
+				st.Increments++
+			}
+		}
+		for _, j := range r.touched {
+			if est := r.s.BiasedEstimateFromCount(int(j), i, int(r.counts[j])); est >= r.opt.BiasedCutoff {
+				unbiased := r.s.UnbiasedEstimate(int(j), i)
+				if unbiased >= r.opt.UnbiasedCutoff {
+					out = append(out, pairs.Scored{
+						Pair:     pairs.Make(j, ii),
+						Estimate: unbiased,
+					})
+				}
+			}
+			r.counts[j] = 0
+		}
+		r.touched = r.touched[:0]
+	}
+	st.Candidates = len(out)
+	return out, st, nil
+}

@@ -1,0 +1,153 @@
+package candidate
+
+import (
+	"testing"
+
+	"assocmine/internal/hashing"
+	"assocmine/internal/kminhash"
+	"assocmine/internal/minhash"
+	"assocmine/internal/pairs"
+)
+
+func scoredEqual(a, b []pairs.Scored) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMHRangerMatchesRowSort proves that concatenating MHRanger column
+// ranges in range order reproduces RowSortMH exactly — same pairs, same
+// order, same estimate bits — across several partitions including
+// single-column and empty ranges.
+func TestMHRangerMatchesRowSort(t *testing.T) {
+	rng := hashing.NewSplitMix64(41)
+	m, _ := plantedMatrix(rng, 300, 60)
+	sig, err := minhash.Compute(m.Stream(), 24, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cutoff = 0.5
+	want, wantSt, err := RowSortMH(sig, cutoff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("fixture emitted no candidates; weaken the cutoff")
+	}
+	partitions := [][]int{
+		{0, 60},
+		{0, 30, 60},
+		{0, 7, 7, 13, 45, 60},
+		{0, 1, 2, 3, 60},
+	}
+	for _, cuts := range partitions {
+		r, err := NewMHRanger(sig, cutoff)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []pairs.Scored
+		var inc int64
+		for i := 0; i+1 < len(cuts); i++ {
+			part, st, err := r.Columns(cuts[i], cuts[i+1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, part...)
+			inc += st.Increments
+		}
+		if !scoredEqual(got, want) {
+			t.Errorf("partition %v: %d candidates, want %d (or order/estimate mismatch)", cuts, len(got), len(want))
+		}
+		if inc != wantSt.Increments {
+			t.Errorf("partition %v: %d increments, want %d", cuts, inc, wantSt.Increments)
+		}
+	}
+	if _, _, err := mustRanger(t, sig, cutoff).Columns(-1, 5); err == nil {
+		t.Error("negative lo accepted")
+	}
+	if _, _, err := mustRanger(t, sig, cutoff).Columns(0, 61); err == nil {
+		t.Error("hi beyond m accepted")
+	}
+}
+
+func mustRanger(t *testing.T, sig *minhash.Signatures, cutoff float64) *MHRanger {
+	t.Helper()
+	r, err := NewMHRanger(sig, cutoff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestKMHRangerMatchesHashCount proves the same for the K-MH cascade:
+// prebuilt ascending buckets served over ranges equals the serial
+// incremental Hash-Count.
+func TestKMHRangerMatchesHashCount(t *testing.T) {
+	rng := hashing.NewSplitMix64(43)
+	m, _ := plantedMatrix(rng, 300, 60)
+	sk, err := kminhash.Compute(m.Stream(), 32, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := KMHOptions{BiasedCutoff: 0.25, UnbiasedCutoff: 0.5}
+	want, wantSt, err := HashCountKMH(sk, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("fixture emitted no candidates; weaken the cutoffs")
+	}
+	partitions := [][]int{
+		{0, 60},
+		{0, 15, 30, 45, 60},
+		{0, 59, 60},
+	}
+	for _, cuts := range partitions {
+		r, err := NewKMHRanger(sk, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []pairs.Scored
+		var inc int64
+		for i := 0; i+1 < len(cuts); i++ {
+			part, st, err := r.Columns(cuts[i], cuts[i+1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, part...)
+			inc += st.Increments
+		}
+		if !scoredEqual(got, want) {
+			t.Errorf("partition %v: %d candidates, want %d (or order/estimate mismatch)", cuts, len(got), len(want))
+		}
+		if inc != wantSt.Increments {
+			t.Errorf("partition %v: %d increments, want %d", cuts, inc, wantSt.Increments)
+		}
+	}
+}
+
+// TestRangerValidation covers the constructor cutoff checks.
+func TestRangerValidation(t *testing.T) {
+	rng := hashing.NewSplitMix64(5)
+	m := randomMatrix(rng, 40, 10, 0.2)
+	sig, _ := minhash.Compute(m.Stream(), 8, 3)
+	if _, err := NewMHRanger(sig, 0); err == nil {
+		t.Error("cutoff 0 accepted")
+	}
+	if _, err := NewMHRanger(sig, 1.5); err == nil {
+		t.Error("cutoff > 1 accepted")
+	}
+	sk, _ := kminhash.Compute(m.Stream(), 8, 3)
+	if _, err := NewKMHRanger(sk, KMHOptions{BiasedCutoff: 0}); err == nil {
+		t.Error("biased cutoff 0 accepted")
+	}
+	if _, err := NewKMHRanger(sk, KMHOptions{BiasedCutoff: 0.5, UnbiasedCutoff: 2}); err == nil {
+		t.Error("unbiased cutoff > 1 accepted")
+	}
+}

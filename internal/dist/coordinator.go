@@ -1,0 +1,847 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sort"
+	"sync"
+	"time"
+
+	"assocmine/internal/bps"
+	"assocmine/internal/kminhash"
+	"assocmine/internal/matrix"
+	"assocmine/internal/minhash"
+	"assocmine/internal/obs"
+	"assocmine/internal/pairs"
+)
+
+// Config controls a distributed Run. Zero values select the same
+// documented defaults as the single-process driver, so a (data, seed,
+// parameters) job yields bit-identical pairs under both executors.
+type Config struct {
+	// Path is the dataset file (.txt, .arows, or .carows). Workers open
+	// it themselves — the pipes carry sketches and candidates, not rows.
+	Path string
+	// Algorithm picks the scheme; see Algo for the supported set.
+	Algorithm Algo
+	// Threshold is s*, required in (0,1].
+	Threshold float64
+	// Delta, K, R, L, SampleBudget and Seed have the single-process
+	// driver's meanings and defaults (Delta 0.2, K 100, R 5, L K/R,
+	// SampleBudget 32).
+	Delta        float64
+	K, R, L      int
+	SampleBudget int
+	Seed         uint64
+	// SkipVerify returns raw candidates without the exact pruning pass.
+	SkipVerify bool
+	// Workers is the number of worker subprocesses; 0 means 1.
+	Workers int
+	// RowJobs is the number of row ranges the data passes are split
+	// into; 0 means Workers. More jobs than workers gives finer-grained
+	// restart units at the cost of extra prefix skips.
+	RowJobs int
+	// MaxRestarts bounds worker replacements across the whole run;
+	// 0 means 3. A crashed or hung worker consumes one restart and its
+	// job is re-dispatched to a fresh subprocess; exceeding the budget
+	// aborts the run.
+	MaxRestarts int
+	// JobTimeout bounds a single job round-trip; a worker that exceeds
+	// it is treated as hung, killed, and restarted. 0 means 5 minutes.
+	JobTimeout time.Duration
+	// WorkerArgv is the worker subprocess command line, typically
+	// {os.Executable(), "-worker"}. Required.
+	WorkerArgv []string
+	// Env appends to the workers' inherited environment.
+	Env []string
+	// Context, when non-nil, cancels the run, tearing down the process
+	// tree promptly.
+	Context context.Context
+	// Recorder, when non-nil, receives phase spans plus the dist_*
+	// counters alongside the shared pipeline counters.
+	Recorder obs.Recorder
+}
+
+func (c *Config) setDefaults() error {
+	if c.Path == "" {
+		return fmt.Errorf("dist: Path is required")
+	}
+	if len(c.WorkerArgv) == 0 {
+		return fmt.Errorf("dist: WorkerArgv is required")
+	}
+	switch c.Algorithm {
+	case MinHash, KMinHash, MinLSH, BPS:
+	default:
+		return fmt.Errorf("dist: unsupported algorithm %v", c.Algorithm)
+	}
+	if c.Threshold <= 0 || c.Threshold > 1 {
+		return fmt.Errorf("dist: Threshold must be in (0,1], got %v", c.Threshold)
+	}
+	if c.K == 0 {
+		c.K = 100
+	}
+	if c.K < 1 {
+		return fmt.Errorf("dist: K must be positive, got %d", c.K)
+	}
+	if c.Delta == 0 {
+		c.Delta = 0.2
+	}
+	if c.Delta < 0 || c.Delta >= 1 {
+		return fmt.Errorf("dist: Delta must be in [0,1), got %v", c.Delta)
+	}
+	if c.R == 0 {
+		c.R = 5
+	}
+	if c.R < 1 {
+		return fmt.Errorf("dist: R must be positive, got %d", c.R)
+	}
+	if c.L == 0 {
+		c.L = c.K / c.R
+		if c.L < 1 {
+			c.L = 1
+		}
+	}
+	if c.L < 1 {
+		return fmt.Errorf("dist: L must be positive, got %d", c.L)
+	}
+	if c.Algorithm == MinLSH && c.K < c.R {
+		return fmt.Errorf("dist: MinLSH needs K >= R, got K=%d R=%d", c.K, c.R)
+	}
+	if c.SampleBudget == 0 {
+		c.SampleBudget = 32
+	}
+	if c.SampleBudget < 1 {
+		return fmt.Errorf("dist: SampleBudget must be positive, got %d", c.SampleBudget)
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.RowJobs <= 0 {
+		c.RowJobs = c.Workers
+	}
+	if c.MaxRestarts == 0 {
+		c.MaxRestarts = 3
+	}
+	if c.JobTimeout == 0 {
+		c.JobTimeout = 5 * time.Minute
+	}
+	return nil
+}
+
+func (c Config) context() context.Context {
+	if c.Context != nil {
+		return c.Context
+	}
+	return context.Background()
+}
+
+// Pair is a similar column pair in a distributed Result; it matches
+// the single-process driver's output type field for field.
+type Pair struct {
+	I, J       int
+	Estimate   float64
+	Similarity float64
+}
+
+// Stats describes a distributed run.
+type Stats struct {
+	Rows, Cols int
+	Candidates int
+	Verified   int
+
+	SignatureTime time.Duration
+	CandidateTime time.Duration
+	VerifyTime    time.Duration
+
+	// Workers counts worker subprocesses launched, including
+	// replacements; Restarts counts failed ranges re-dispatched to a
+	// fresh subprocess; BytesShipped totals frame payload bytes in both
+	// directions (the run's whole inter-process traffic).
+	Workers      int
+	Restarts     int
+	BytesShipped int64
+	Jobs         int
+}
+
+// Total returns the end-to-end running time.
+func (s Stats) Total() time.Duration {
+	return s.SignatureTime + s.CandidateTime + s.VerifyTime
+}
+
+// Result is the output of a distributed Run: pairs sorted exactly as
+// the single-process driver sorts them.
+type Result struct {
+	Pairs []Pair
+	Stats Stats
+}
+
+// errPermanent marks faults that a restart cannot fix: protocol
+// errors, dataset mismatches, and worker-reported failures.
+type errPermanent struct{ err error }
+
+func (e errPermanent) Error() string { return e.err.Error() }
+func (e errPermanent) Unwrap() error { return e.err }
+
+func permanent(err error) bool {
+	_, ok := err.(errPermanent)
+	return ok
+}
+
+// proc is one live worker subprocess, owned by exactly one scheduler
+// slot at a time.
+type proc struct {
+	cmd        *exec.Cmd
+	stdin      io.WriteCloser
+	frames     chan procFrame
+	index      int
+	statesSeen int
+}
+
+type procFrame struct {
+	typ     byte
+	payload []byte
+	err     error
+}
+
+// coordinator owns the worker pool and the run-wide accounting.
+type coordinator struct {
+	cfg *Config
+	h   *hello
+	// ctx is the run-scoped context every worker subprocess is launched
+	// under — not a phase context, or replacements spawned mid-phase
+	// would be torn down when the phase ends.
+	ctx   context.Context
+	rows  int
+	cols  int
+	rec   obs.Recorder
+	stats Stats
+
+	mu       sync.Mutex
+	states   [][]byte // cumulative phase broadcasts, replayed to fresh workers
+	restarts int
+	next     int // next worker index to assign
+}
+
+// Run executes the configured job across worker subprocesses. The
+// returned pairs are bit-identical to the single-process streamed
+// driver at the same (data, seed, parameters).
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	fs, err := matrix.OpenFileSource(cfg.Path)
+	if err != nil {
+		return nil, err
+	}
+	rec := obs.OrNop(cfg.Recorder)
+	co := &coordinator{
+		cfg:  &cfg,
+		rows: fs.NumRows(),
+		cols: fs.NumCols(),
+		rec:  rec,
+		h: &hello{
+			Algo:         cfg.Algorithm,
+			Path:         cfg.Path,
+			K:            cfg.K,
+			R:            cfg.R,
+			L:            cfg.L,
+			SampleBudget: cfg.SampleBudget,
+			Seed:         cfg.Seed,
+			Threshold:    cfg.Threshold,
+			Delta:        cfg.Delta,
+		},
+	}
+	co.stats.Rows, co.stats.Cols = co.rows, co.cols
+
+	ctx, cancel := context.WithCancel(cfg.context())
+	defer cancel()
+	co.ctx = ctx
+
+	procs := make([]*proc, 0, cfg.Workers)
+	defer func() {
+		for _, p := range procs {
+			co.quit(p)
+		}
+	}()
+	for i := 0; i < cfg.Workers; i++ {
+		p, err := co.spawn()
+		if err != nil {
+			return nil, err
+		}
+		procs = append(procs, p)
+	}
+
+	cand, err := co.candidates(ctx, procs)
+	if err != nil {
+		return nil, err
+	}
+	co.stats.Candidates = len(cand)
+	rec.Add(obs.CounterCandidates, int64(len(cand)))
+
+	var out []Pair
+	if cfg.SkipVerify {
+		pairs.SortScored(cand)
+		out = make([]Pair, len(cand))
+		for i, p := range cand {
+			out[i] = Pair{I: int(p.I), J: int(p.J), Estimate: p.Estimate}
+		}
+	} else {
+		verified, err := co.verify(ctx, procs, cand)
+		if err != nil {
+			return nil, err
+		}
+		co.stats.Verified = len(verified)
+		rec.Add(obs.CounterPairsVerified, int64(len(verified)))
+		rec.Add(obs.CounterFalsePositives, int64(len(cand)-len(verified)))
+		pairs.SortScored(verified)
+		out = make([]Pair, len(verified))
+		for i, p := range verified {
+			out[i] = Pair{I: int(p.I), J: int(p.J), Estimate: p.Estimate, Similarity: p.Exact}
+		}
+	}
+	co.mu.Lock()
+	co.stats.Restarts = co.restarts
+	co.mu.Unlock()
+	return &Result{Pairs: out, Stats: co.stats}, nil
+}
+
+// candidates runs the algorithm's pre-verification phases and returns
+// the candidate set.
+func (co *coordinator) candidates(ctx context.Context, procs []*proc) ([]pairs.Scored, error) {
+	cfg := co.cfg
+	switch cfg.Algorithm {
+	case MinHash, KMinHash, MinLSH:
+		if err := co.sigPhase(ctx, procs); err != nil {
+			return nil, err
+		}
+		return co.candPhase(ctx, procs)
+	case BPS:
+		return co.bpsPhases(ctx, procs)
+	}
+	return nil, fmt.Errorf("dist: unsupported algorithm %v", cfg.Algorithm)
+}
+
+// sigPhase folds the row ranges on the workers, merges the snapshots
+// in arrival order with the exact Merge — pointwise minima for MH,
+// bounded multiset union for K-MH, both order-free — and broadcasts
+// the merged state back.
+func (co *coordinator) sigPhase(ctx context.Context, procs []*proc) error {
+	end := co.span(obs.PhaseSignatures)
+	jobs := rangeJobs(jobSig, co.rows, co.cfg.RowJobs)
+	var mhMerged *minhash.FoldState
+	var kmhMerged *kminhash.FoldState
+	err := co.runPhase(ctx, procs, jobs, func(_ int, payload []byte) error {
+		switch co.cfg.Algorithm {
+		case MinHash, MinLSH:
+			st, err := minhash.ReadFoldState(bytes.NewReader(payload))
+			if err != nil {
+				return errPermanent{fmt.Errorf("dist: decoding worker snapshot: %w", err)}
+			}
+			if mhMerged == nil {
+				mhMerged = st
+				return nil
+			}
+			return minhash.Merge(mhMerged, st)
+		default:
+			st, err := kminhash.ReadFoldState(bytes.NewReader(payload))
+			if err != nil {
+				return errPermanent{fmt.Errorf("dist: decoding worker snapshot: %w", err)}
+			}
+			if kmhMerged == nil {
+				kmhMerged = st
+				return nil
+			}
+			return kminhash.Merge(kmhMerged, st)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	switch co.cfg.Algorithm {
+	case MinHash, MinLSH:
+		err = mhMerged.Snapshot(&buf)
+	default:
+		err = kmhMerged.Snapshot(&buf)
+	}
+	if err != nil {
+		return err
+	}
+	co.addState(encodeState(stateSig, buf.Bytes()))
+	co.stats.SignatureTime = end()
+	return nil
+}
+
+// candPhase distributes candidate generation: column ranges for the
+// counting schemes, band ranges for M-LSH. Both partitions are exact —
+// a pair is owned by exactly one column, and within a band by exactly
+// one bucket — so the union equals the serial set.
+func (co *coordinator) candPhase(ctx context.Context, procs []*proc) ([]pairs.Scored, error) {
+	end := co.span(obs.PhaseCandidates)
+	defer func() { co.stats.CandidateTime = end() }()
+	cfg := co.cfg
+	if cfg.Algorithm == MinLSH {
+		jobs := rangeJobs(jobBands, cfg.L, cfg.Workers)
+		set := pairs.NewSet(0)
+		var bucketPairs int64
+		err := co.runPhase(ctx, procs, jobs, func(_ int, payload []byte) error {
+			res, err := decodeBandsResult(payload)
+			if err != nil {
+				return errPermanent{err}
+			}
+			for _, band := range res.Bands {
+				bucketPairs += band.BucketPairs
+				for _, p := range band.Pairs {
+					set.Add(p.I, p.J)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		co.rec.Add(obs.CounterBucketPairs, bucketPairs)
+		cand := make([]pairs.Scored, 0, set.Len())
+		for _, p := range set.Slice() {
+			cand = append(cand, pairs.Scored{Pair: p})
+		}
+		return cand, nil
+	}
+	jobs := rangeJobs(jobCand, co.cols, cfg.Workers)
+	var cand []pairs.Scored
+	var increments int64
+	err := co.runPhase(ctx, procs, jobs, func(_ int, payload []byte) error {
+		res, err := decodeCandResult(payload)
+		if err != nil {
+			return errPermanent{err}
+		}
+		increments += res.Increments
+		cand = append(cand, res.Cand...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	co.rec.Add(obs.CounterIncrements, increments)
+	return cand, nil
+}
+
+// bpsPhases runs the support pass, broadcasts the global supports (the
+// sampler's bias input must be global — acceptance probabilities and
+// the seed mix derive from it), samples the row ranges, and finalizes
+// the additive count merge.
+func (co *coordinator) bpsPhases(ctx context.Context, procs []*proc) ([]pairs.Scored, error) {
+	end := co.span(obs.PhaseSignatures)
+	sup := make([]int64, co.cols)
+	jobs := rangeJobs(jobSupports, co.rows, co.cfg.RowJobs)
+	err := co.runPhase(ctx, procs, jobs, func(_ int, payload []byte) error {
+		part, err := decodeSupports(payload)
+		if err != nil {
+			return errPermanent{err}
+		}
+		if len(part) != len(sup) {
+			return errPermanent{fmt.Errorf("dist: worker supports cover %d of %d columns", len(part), len(sup))}
+		}
+		for i, s := range part {
+			sup[i] += s
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	co.addState(encodeState(stateSupports, encodeSupports(sup)))
+	co.stats.SignatureTime = end()
+
+	end = co.span(obs.PhaseCandidates)
+	counts := make(map[uint64]int64)
+	var inspected int64
+	jobs = rangeJobs(jobSample, co.rows, co.cfg.RowJobs)
+	err = co.runPhase(ctx, procs, jobs, func(_ int, payload []byte) error {
+		res, err := decodeSampleResult(payload)
+		if err != nil {
+			return errPermanent{err}
+		}
+		inspected += res.Inspected
+		for i, k := range res.Keys {
+			counts[k] += res.Counts[i]
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	opt := bps.Options{
+		Threshold: co.cfg.Threshold,
+		Delta:     co.cfg.Delta,
+		Budget:    co.cfg.SampleBudget,
+		Seed:      co.cfg.Seed,
+	}
+	cand, bst, err := bps.FinalizeCounts(counts, sup, opt)
+	if err != nil {
+		return nil, err
+	}
+	co.rec.Add(obs.CounterPairsSampled, inspected)
+	co.rec.Add(obs.CounterSampleAccepts, bst.Accepts)
+	if bst.Dups != 0 {
+		co.rec.Add(obs.CounterSampleDups, bst.Dups)
+	}
+	co.stats.CandidateTime = end()
+	return cand, nil
+}
+
+// verify sorts the candidates by pair key — the wire codec needs
+// ascending runs, and the final similarity sort makes candidate order
+// irrelevant to the output — splits them into contiguous ranges, and
+// fans the exact pruning pass out.
+func (co *coordinator) verify(ctx context.Context, procs []*proc, cand []pairs.Scored) ([]pairs.Scored, error) {
+	end := co.span(obs.PhaseVerify)
+	defer func() { co.stats.VerifyTime = end() }()
+	if len(cand) == 0 {
+		return nil, nil
+	}
+	sort.Slice(cand, func(a, b int) bool { return pairKey(cand[a].Pair) < pairKey(cand[b].Pair) })
+	njobs := co.cfg.Workers
+	if njobs > len(cand) {
+		njobs = len(cand)
+	}
+	bounds := splitRange(len(cand), njobs)
+	jobs := make([]*job, njobs)
+	for i := 0; i < njobs; i++ {
+		jobs[i] = &job{Kind: jobVerify, Cand: cand[bounds[i]:bounds[i+1]]}
+	}
+	var verified []pairs.Scored
+	err := co.runPhase(ctx, procs, jobs, func(jobIdx int, payload []byte) error {
+		res, err := decodeVerifyResult(payload)
+		if err != nil {
+			return errPermanent{err}
+		}
+		base := bounds[jobIdx]
+		part := jobs[jobIdx].Cand
+		for i, idx := range res.Indices {
+			if idx >= len(part) {
+				return errPermanent{fmt.Errorf("dist: verify index %d out of range", idx)}
+			}
+			p := cand[base+idx]
+			p.Exact = res.Exact[i]
+			verified = append(verified, p)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return verified, nil
+}
+
+// runPhase dispatches jobs across the pool: each scheduler slot owns
+// one worker subprocess, pulls job indexes from a shared channel, and
+// retries a failed job on a fresh subprocess within the restart
+// budget. handle is called serially, in arrival order.
+func (co *coordinator) runPhase(ctx context.Context, procs []*proc, jobs []*job, handle func(jobIdx int, payload []byte) error) error {
+	co.stats.Jobs += len(jobs)
+	idxCh := make(chan int)
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+	var handleMu sync.Mutex
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		cancel()
+	}
+	for slot := range procs {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			p := procs[slot]
+			for {
+				var jobIdx int
+				var ok bool
+				select {
+				case jobIdx, ok = <-idxCh:
+					if !ok {
+						return
+					}
+				case <-pctx.Done():
+					return
+				}
+				for {
+					payload, err := co.runJobOn(pctx, p, jobs[jobIdx])
+					if err == nil {
+						handleMu.Lock()
+						herr := handle(jobIdx, payload)
+						handleMu.Unlock()
+						if herr != nil {
+							fail(herr)
+							return
+						}
+						break
+					}
+					if pctx.Err() != nil {
+						return
+					}
+					if permanent(err) {
+						fail(err)
+						return
+					}
+					// Transient: kill the worker, burn one restart, and
+					// retry the same range on a fresh subprocess.
+					co.kill(p)
+					np, rerr := co.restart()
+					if rerr != nil {
+						fail(fmt.Errorf("dist: job %d failed (%v); %w", jobIdx, err, rerr))
+						return
+					}
+					p = np
+					procs[slot] = np
+				}
+			}
+		}(slot)
+	}
+	for i := range jobs {
+		select {
+		case idxCh <- i:
+		case <-pctx.Done():
+		}
+	}
+	close(idxCh)
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// runJobOn synchronises the worker's broadcast state, ships one job,
+// and waits for its result under the hang timeout.
+func (co *coordinator) runJobOn(ctx context.Context, p *proc, jb *job) ([]byte, error) {
+	co.mu.Lock()
+	pending := co.states[p.statesSeen:]
+	co.mu.Unlock()
+	for _, s := range pending {
+		if err := co.sendFrame(p, frameState, s); err != nil {
+			return nil, err
+		}
+		p.statesSeen++
+	}
+	if err := co.sendFrame(p, frameJob, jb.encode()); err != nil {
+		return nil, err
+	}
+	timer := time.NewTimer(co.cfg.JobTimeout)
+	defer timer.Stop()
+	select {
+	case fr := <-p.frames:
+		if fr.err != nil {
+			return nil, fmt.Errorf("dist: worker %d: %w", p.index, fr.err)
+		}
+		co.ship(int64(len(fr.payload)))
+		switch fr.typ {
+		case frameResult:
+			return fr.payload, nil
+		case frameError:
+			return nil, errPermanent{fmt.Errorf("dist: worker %d: %s", p.index, fr.payload)}
+		default:
+			return nil, errPermanent{fmt.Errorf("dist: worker %d sent unexpected frame %q", p.index, fr.typ)}
+		}
+	case <-timer.C:
+		return nil, fmt.Errorf("dist: worker %d exceeded job timeout %v", p.index, co.cfg.JobTimeout)
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// spawn launches and handshakes one worker subprocess under the
+// run-scoped context.
+func (co *coordinator) spawn() (*proc, error) {
+	co.mu.Lock()
+	index := co.next
+	co.next++
+	co.mu.Unlock()
+	argv := co.cfg.WorkerArgv
+	cmd := exec.CommandContext(co.ctx, argv[0], argv[1:]...)
+	cmd.Env = append(append(os.Environ(), co.cfg.Env...),
+		fmt.Sprintf("%s=%d", EnvWorkerIndex, index))
+	cmd.Stderr = os.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("dist: launching worker: %w", err)
+	}
+	p := &proc{
+		cmd:    cmd,
+		stdin:  stdin,
+		frames: make(chan procFrame, 4),
+		index:  index,
+	}
+	go func() {
+		for {
+			typ, payload, err := readFrame(stdout)
+			if err != nil {
+				p.frames <- procFrame{err: err}
+				return
+			}
+			p.frames <- procFrame{typ: typ, payload: payload}
+		}
+	}()
+	co.mu.Lock()
+	co.stats.Workers++
+	co.mu.Unlock()
+	co.rec.Add(obs.CounterDistWorkers, 1)
+	if err := co.handshake(p); err != nil {
+		co.kill(p)
+		return nil, err
+	}
+	return p, nil
+}
+
+// handshake sends hello and validates the worker's ready answer
+// against the coordinator's own view of the dataset.
+func (co *coordinator) handshake(p *proc) error {
+	if err := co.sendFrame(p, frameHello, co.h.encode()); err != nil {
+		return fmt.Errorf("dist: worker %d hello: %w", p.index, err)
+	}
+	timer := time.NewTimer(co.cfg.JobTimeout)
+	defer timer.Stop()
+	select {
+	case fr := <-p.frames:
+		if fr.err != nil {
+			return fmt.Errorf("dist: worker %d handshake: %w", p.index, fr.err)
+		}
+		co.ship(int64(len(fr.payload)))
+		if fr.typ == frameError {
+			return errPermanent{fmt.Errorf("dist: worker %d: %s", p.index, fr.payload)}
+		}
+		if fr.typ != frameReady {
+			return errPermanent{fmt.Errorf("dist: worker %d answered hello with frame %q", p.index, fr.typ)}
+		}
+		y, err := decodeReady(fr.payload)
+		if err != nil {
+			return errPermanent{err}
+		}
+		if y.Rows != co.rows || y.Cols != co.cols {
+			return errPermanent{fmt.Errorf("dist: worker %d sees %dx%d, coordinator %dx%d",
+				p.index, y.Rows, y.Cols, co.rows, co.cols)}
+		}
+		return nil
+	case <-timer.C:
+		return fmt.Errorf("dist: worker %d handshake timed out", p.index)
+	case <-co.ctx.Done():
+		return co.ctx.Err()
+	}
+}
+
+// restart burns one unit of the restart budget and spawns a
+// replacement worker with a fresh index.
+func (co *coordinator) restart() (*proc, error) {
+	co.mu.Lock()
+	co.restarts++
+	over := co.restarts > co.cfg.MaxRestarts
+	co.mu.Unlock()
+	if over {
+		return nil, fmt.Errorf("dist: restart budget %d exhausted", co.cfg.MaxRestarts)
+	}
+	co.rec.Add(obs.CounterDistRestarts, 1)
+	return co.spawn()
+}
+
+// sendFrame writes one frame to the worker and accounts its payload.
+func (co *coordinator) sendFrame(p *proc, typ byte, payload []byte) error {
+	if err := writeFrame(p.stdin, typ, payload); err != nil {
+		return err
+	}
+	co.ship(int64(len(payload)))
+	return nil
+}
+
+func (co *coordinator) ship(n int64) {
+	co.mu.Lock()
+	co.stats.BytesShipped += n
+	co.mu.Unlock()
+	if n > 0 {
+		co.rec.Add(obs.CounterDistBytesShipped, n)
+	}
+}
+
+// addState appends a phase broadcast; live workers receive it lazily
+// before their next job, and replacements replay the whole sequence.
+func (co *coordinator) addState(payload []byte) {
+	co.mu.Lock()
+	co.states = append(co.states, payload)
+	co.mu.Unlock()
+}
+
+// quit asks a worker to exit and reaps it; kill is the impolite
+// variant for workers presumed broken.
+func (co *coordinator) quit(p *proc) {
+	_ = writeFrame(p.stdin, frameQuit, nil)
+	_ = p.stdin.Close()
+	done := make(chan struct{})
+	go func() { _ = p.cmd.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		_ = p.cmd.Process.Kill()
+		<-done
+	}
+}
+
+func (co *coordinator) kill(p *proc) {
+	_ = p.cmd.Process.Kill()
+	_ = p.stdin.Close()
+	_ = p.cmd.Wait()
+}
+
+// span opens an obs phase span; the returned func closes it and
+// reports the duration.
+func (co *coordinator) span(name string) func() time.Duration {
+	co.rec.PhaseStart(name)
+	start := time.Now()
+	return func() time.Duration {
+		d := time.Since(start)
+		co.rec.PhaseEnd(name, d)
+		return d
+	}
+}
+
+// rangeJobs splits [0,n) into count contiguous jobs of the given kind
+// (count is clamped to n so no job is empty unless n is 0).
+func rangeJobs(kind jobKind, n, count int) []*job {
+	bounds := splitRange(n, count)
+	jobs := make([]*job, len(bounds)-1)
+	for i := range jobs {
+		jobs[i] = &job{Kind: kind, Lo: bounds[i], Hi: bounds[i+1]}
+	}
+	return jobs
+}
+
+// splitRange returns count+1 even boundaries over [0,n), clamping
+// count to [1, max(n,1)].
+func splitRange(n, count int) []int {
+	if count > n {
+		count = n
+	}
+	if count < 1 {
+		count = 1
+	}
+	bounds := make([]int, count+1)
+	for i := 0; i <= count; i++ {
+		bounds[i] = n * i / count
+	}
+	return bounds
+}

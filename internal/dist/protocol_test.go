@@ -1,0 +1,164 @@
+package dist
+
+import (
+	"bytes"
+	"testing"
+
+	"assocmine/internal/hashing"
+	"assocmine/internal/lsh"
+	"assocmine/internal/pairs"
+)
+
+func TestHelloRoundTrip(t *testing.T) {
+	in := &hello{
+		Algo: KMinHash, Path: "/tmp/data.carows",
+		K: 100, R: 5, L: 20, SampleBudget: 32,
+		Seed: 0xfeedface, Threshold: 0.375, Delta: 0.2,
+	}
+	out, err := decodeHello(in.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *out != *in {
+		t.Fatalf("round trip: %+v, want %+v", out, in)
+	}
+}
+
+func TestHelloRejectsVersionMismatch(t *testing.T) {
+	p := (&hello{Algo: MinHash, Path: "x", Threshold: 0.5}).encode()
+	p[0] = protoVersion + 1
+	if _, err := decodeHello(p); err == nil {
+		t.Fatal("version mismatch accepted")
+	}
+}
+
+func TestKeyRunRoundTrip(t *testing.T) {
+	rng := hashing.NewSplitMix64(41)
+	for trial := 0; trial < 30; trial++ {
+		n := int(rng.Next() % 200)
+		keys := make([]uint64, 0, n)
+		cur := rng.Next() % 1000
+		for i := 0; i < n; i++ {
+			cur += 1 + rng.Next()%int64max(1, 1<<(rng.Next()%20))
+			keys = append(keys, cur)
+		}
+		var b bytes.Buffer
+		encodeKeyRun(&b, keys)
+		got, err := decodeKeyRun(bytes.NewReader(b.Bytes()))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(got) != len(keys) {
+			t.Fatalf("trial %d: %d keys, want %d", trial, len(got), len(keys))
+		}
+		for i := range keys {
+			if got[i] != keys[i] {
+				t.Fatalf("trial %d: key %d = %d, want %d", trial, i, got[i], keys[i])
+			}
+		}
+	}
+}
+
+func int64max(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestScoredRunRoundTrip(t *testing.T) {
+	cand := []pairs.Scored{
+		{Pair: pairs.Pair{I: 0, J: 1}, Estimate: 0.5},
+		{Pair: pairs.Pair{I: 0, J: 9}, Estimate: 0.25},
+		{Pair: pairs.Pair{I: 3, J: 4}, Estimate: 1},
+		{Pair: pairs.Pair{I: 100, J: 40000}, Estimate: 0.333},
+	}
+	var b bytes.Buffer
+	encodeScoredRun(&b, cand)
+	got, err := decodeScoredRun(bytes.NewReader(b.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(cand) {
+		t.Fatalf("%d candidates, want %d", len(got), len(cand))
+	}
+	for i := range cand {
+		if got[i].Pair != cand[i].Pair || got[i].Estimate != cand[i].Estimate {
+			t.Fatalf("candidate %d = %+v, want %+v", i, got[i], cand[i])
+		}
+	}
+}
+
+func TestVerifyResultRoundTrip(t *testing.T) {
+	in := &verifyResult{Indices: []int{0, 3, 4, 17}, Exact: []float64{0.9, 0.5, 0.41, 1}}
+	got, err := decodeVerifyResult(in.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in.Indices {
+		if got.Indices[i] != in.Indices[i] || got.Exact[i] != in.Exact[i] {
+			t.Fatalf("entry %d differs: %+v vs %+v", i, got, in)
+		}
+	}
+}
+
+func TestBandsResultRoundTrip(t *testing.T) {
+	in := &bandsResult{Bands: []lsh.BandPairs{
+		{Band: 2, BucketPairs: 17, Pairs: []pairs.Pair{{I: 1, J: 2}, {I: 1, J: 5}, {I: 4, J: 9}}},
+		{Band: 3, BucketPairs: 0, Pairs: nil},
+	}}
+	got, err := decodeBandsResult(in.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Bands) != 2 || got.Bands[0].Band != 2 || got.Bands[0].BucketPairs != 17 ||
+		got.Bands[1].Band != 3 || len(got.Bands[1].Pairs) != 0 {
+		t.Fatalf("bands differ: %+v", got)
+	}
+	for i, p := range in.Bands[0].Pairs {
+		if got.Bands[0].Pairs[i] != p {
+			t.Fatalf("band pair %d = %v, want %v", i, got.Bands[0].Pairs[i], p)
+		}
+	}
+}
+
+func TestJobRoundTrip(t *testing.T) {
+	rj := &job{Kind: jobSig, Lo: 10, Hi: 250}
+	got, err := decodeJob(rj.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != rj.Kind || got.Lo != rj.Lo || got.Hi != rj.Hi {
+		t.Fatalf("job = %+v, want %+v", got, rj)
+	}
+	vj := &job{Kind: jobVerify, Cand: []pairs.Scored{{Pair: pairs.Pair{I: 2, J: 7}, Estimate: 0.5}}}
+	got, err = decodeJob(vj.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != jobVerify || len(got.Cand) != 1 || got.Cand[0] != vj.Cand[0] {
+		t.Fatalf("verify job = %+v, want %+v", got, vj)
+	}
+	if _, err := decodeJob([]byte{byte(jobSig), 5, 2}); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+}
+
+func TestSplitRange(t *testing.T) {
+	for _, tc := range []struct{ n, count, jobs int }{
+		{100, 4, 4}, {3, 8, 3}, {0, 4, 1}, {1, 1, 1},
+	} {
+		b := splitRange(tc.n, tc.count)
+		if len(b)-1 != tc.jobs {
+			t.Errorf("splitRange(%d,%d): %d jobs, want %d", tc.n, tc.count, len(b)-1, tc.jobs)
+		}
+		if b[0] != 0 || b[len(b)-1] != tc.n {
+			t.Errorf("splitRange(%d,%d) = %v: bad bounds", tc.n, tc.count, b)
+		}
+		for i := 1; i < len(b); i++ {
+			if b[i] < b[i-1] {
+				t.Errorf("splitRange(%d,%d) = %v: not monotone", tc.n, tc.count, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package gen
+
+import (
+	"path/filepath"
+	"testing"
+
+	"assocmine/internal/matrix"
+)
+
+func collect(t *testing.T, z *ZipfSource) [][]int32 {
+	t.Helper()
+	var rows [][]int32
+	err := z.Scan(func(row int, cols []int32) error {
+		if row != len(rows) {
+			t.Fatalf("row %d delivered out of order (have %d)", row, len(rows))
+		}
+		rows = append(rows, append([]int32(nil), cols...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestZipfSourceRepeatable(t *testing.T) {
+	for _, kind := range []string{"market", "clicks"} {
+		z := &ZipfSource{Kind: kind, Rows: 500, Cols: 300, Seed: 11}
+		a, b := collect(t, z), collect(t, z)
+		if len(a) != 500 {
+			t.Fatalf("%s: %d rows", kind, len(a))
+		}
+		for r := range a {
+			if len(a[r]) != len(b[r]) {
+				t.Fatalf("%s: row %d differs across passes", kind, r)
+			}
+			for i := range a[r] {
+				if a[r][i] != b[r][i] {
+					t.Fatalf("%s: row %d differs across passes", kind, r)
+				}
+			}
+		}
+	}
+}
+
+func TestZipfSourceRowsAreValidSets(t *testing.T) {
+	for _, kind := range []string{"market", "clicks"} {
+		z := &ZipfSource{Kind: kind, Rows: 400, Cols: 128, Seed: 5}
+		for _, row := range collect(t, z) {
+			if len(row) == 0 {
+				t.Fatalf("%s: empty row", kind)
+			}
+			for i, v := range row {
+				if v < 0 || v >= 128 {
+					t.Fatalf("%s: column %d out of range", kind, v)
+				}
+				if i > 0 && v <= row[i-1] {
+					t.Fatalf("%s: row not strictly increasing: %v", kind, row)
+				}
+			}
+		}
+	}
+}
+
+// TestZipfSourceSkew sanity-checks the popularity shape: the head
+// column must be far more frequent than a mid-tail column.
+func TestZipfSourceSkew(t *testing.T) {
+	z := &ZipfSource{Kind: "market", Rows: 2000, Cols: 1000, Seed: 3}
+	counts := make([]int, 1000)
+	for _, row := range collect(t, z) {
+		for _, v := range row {
+			counts[v]++
+		}
+	}
+	if counts[0] < 10*counts[500]+1 {
+		t.Fatalf("no Zipf skew: head %d vs mid %d", counts[0], counts[500])
+	}
+}
+
+func TestZipfSourceSaveRoundTrip(t *testing.T) {
+	z := &ZipfSource{Kind: "clicks", Rows: 300, Cols: 200, Seed: 9}
+	path := filepath.Join(t.TempDir(), "tier.carows")
+	if err := matrix.SaveRowCompressed(path, z); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := matrix.OpenFileSource(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.NumRows() != 300 || fs.NumCols() != 200 {
+		t.Fatalf("saved dims %dx%d", fs.NumRows(), fs.NumCols())
+	}
+	want := collect(t, z)
+	r := 0
+	err = fs.Scan(func(row int, cols []int32) error {
+		if len(cols) != len(want[r]) {
+			t.Fatalf("row %d: %d cols, want %d", r, len(cols), len(want[r]))
+		}
+		for i := range cols {
+			if cols[i] != want[r][i] {
+				t.Fatalf("row %d col %d differs", r, i)
+			}
+		}
+		r++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfSourceValidation(t *testing.T) {
+	bad := []*ZipfSource{
+		{Kind: "market", Rows: 0, Cols: 10},
+		{Kind: "market", Rows: 10, Cols: 1},
+		{Kind: "nope", Rows: 10, Cols: 10},
+	}
+	for i, z := range bad {
+		if err := z.Scan(func(int, []int32) error { return nil }); err == nil {
+			t.Errorf("case %d: invalid source scanned", i)
+		}
+	}
+}

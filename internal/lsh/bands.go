@@ -1,0 +1,102 @@
+package lsh
+
+import (
+	"fmt"
+	"sort"
+
+	"assocmine/internal/hashing"
+	"assocmine/internal/minhash"
+	"assocmine/internal/pairs"
+)
+
+// BandPairs is the candidate output of one band, the unit of work the
+// scale-out executor ships: buckets partition the columns within a
+// band, so the band's pair list is duplicate-free by construction, and
+// it is sorted by (I, J) here to give the wire encoding a canonical
+// order (bucket-map iteration is not deterministic). Unioning the
+// BandPairs of all bands with exact dedup reproduces the Candidates /
+// SampledCandidates set precisely.
+type BandPairs struct {
+	Band        int          // band index in [0, l)
+	Pairs       []pairs.Pair // distinct colliding pairs, sorted by (I, J)
+	BucketPairs int64        // pair-additions attempted (the Stats term)
+}
+
+// CandidateBands generates the collisions of bands [lo, hi) under the
+// basic disjoint layout of Candidates (l bands of r consecutive rows;
+// sig.K must be at least r*l).
+func CandidateBands(sig *minhash.Signatures, r, l, lo, hi int) ([]BandPairs, error) {
+	if err := checkRL(r, l); err != nil {
+		return nil, err
+	}
+	if sig.K < r*l {
+		return nil, fmt.Errorf("lsh: need k >= r*l = %d min-hash values, have %d (use SampledCandidateBands)", r*l, sig.K)
+	}
+	return bandRange(sig, disjointBands(r, l), lo, hi)
+}
+
+// SampledCandidateBands generates the collisions of bands [lo, hi)
+// under the Q_{r,l,k} sampled layout of SampledCandidates. The layout
+// is a pure function of (sig.K, r, l, seed), so every worker derives
+// identical bands.
+func SampledCandidateBands(sig *minhash.Signatures, r, l int, seed uint64, lo, hi int) ([]BandPairs, error) {
+	if err := checkRL(r, l); err != nil {
+		return nil, err
+	}
+	if sig.K < r {
+		return nil, fmt.Errorf("lsh: need k >= r = %d min-hash values, have %d", r, sig.K)
+	}
+	return bandRange(sig, sampledBands(sig.K, r, l, seed), lo, hi)
+}
+
+// bandRange hashes bands [lo, hi) exactly like bandCandidates — same
+// keys, same empty-column rule, same bucket-pair accounting — but
+// returns each band's distinct collisions instead of accumulating a
+// global set.
+func bandRange(sig *minhash.Signatures, bands [][]int, lo, hi int) ([]BandPairs, error) {
+	if lo < 0 || hi > len(bands) || lo > hi {
+		return nil, fmt.Errorf("lsh: band range [%d,%d) outside [0,%d)", lo, hi, len(bands))
+	}
+	out := make([]BandPairs, 0, hi-lo)
+	key := make([]uint64, 0, 32)
+	for b := lo; b < hi; b++ {
+		rows := bands[b]
+		buckets := make(map[uint64][]int32, sig.M)
+		for c := 0; c < sig.M; c++ {
+			key = key[:0]
+			empty := true
+			for _, l := range rows {
+				v := sig.Vals[l*sig.M+c]
+				if v != minhash.Empty {
+					empty = false
+				}
+				key = append(key, v)
+			}
+			if empty {
+				continue
+			}
+			k := hashing.CombineKeys(key)
+			buckets[k] = append(buckets[k], int32(c))
+		}
+		bp := BandPairs{Band: b}
+		for _, cols := range buckets {
+			if len(cols) < 2 {
+				continue
+			}
+			for i := 0; i < len(cols); i++ {
+				for j := i + 1; j < len(cols); j++ {
+					bp.BucketPairs++
+					bp.Pairs = append(bp.Pairs, pairs.Make(cols[i], cols[j]))
+				}
+			}
+		}
+		sort.Slice(bp.Pairs, func(a, c int) bool {
+			if bp.Pairs[a].I != bp.Pairs[c].I {
+				return bp.Pairs[a].I < bp.Pairs[c].I
+			}
+			return bp.Pairs[a].J < bp.Pairs[c].J
+		})
+		out = append(out, bp)
+	}
+	return out, nil
+}

@@ -1,0 +1,132 @@
+package lsh
+
+import (
+	"testing"
+
+	"assocmine/internal/hashing"
+	"assocmine/internal/minhash"
+	"assocmine/internal/pairs"
+)
+
+// TestCandidateBandsUnionMatchesCandidates proves that unioning the
+// per-band pair lists of any band-range partition, with exact dedup,
+// reproduces the serial Candidates set and its bucket-pair count — the
+// identity the scale-out executor relies on.
+func TestCandidateBandsUnionMatchesCandidates(t *testing.T) {
+	rng := hashing.NewSplitMix64(19)
+	m, _ := plantedMatrix(rng, 400, 50)
+	sig, err := minhash.Compute(m.Stream(), 30, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const r, l = 5, 6
+	want, wantSt, err := Candidates(sig, r, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Len() == 0 {
+		t.Fatal("fixture produced no candidates")
+	}
+	for _, cuts := range [][]int{{0, 6}, {0, 3, 6}, {0, 1, 1, 2, 5, 6}} {
+		got := pairs.NewSet(want.Len())
+		var bucketPairs int64
+		bands := 0
+		for i := 0; i+1 < len(cuts); i++ {
+			bps, err := CandidateBands(sig, r, l, cuts[i], cuts[i+1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, bp := range bps {
+				bands++
+				bucketPairs += bp.BucketPairs
+				for j := 1; j < len(bp.Pairs); j++ {
+					prev, cur := bp.Pairs[j-1], bp.Pairs[j]
+					if prev.I > cur.I || (prev.I == cur.I && prev.J >= cur.J) {
+						t.Fatalf("band %d pairs not strictly sorted", bp.Band)
+					}
+				}
+				for _, p := range bp.Pairs {
+					got.Add(p.I, p.J)
+				}
+			}
+		}
+		if bands != l {
+			t.Errorf("partition %v covered %d bands, want %d", cuts, bands, l)
+		}
+		if bucketPairs != wantSt.BucketPairs {
+			t.Errorf("partition %v: %d bucket pairs, want %d", cuts, bucketPairs, wantSt.BucketPairs)
+		}
+		if got.Len() != want.Len() {
+			t.Errorf("partition %v: %d candidates, want %d", cuts, got.Len(), want.Len())
+		}
+		for _, p := range want.Slice() {
+			if !got.Contains(p.I, p.J) {
+				t.Errorf("partition %v missing pair (%d,%d)", cuts, p.I, p.J)
+			}
+		}
+	}
+}
+
+// TestSampledCandidateBandsUnionMatches proves the same identity for
+// the sampled Q_{r,l,k} layout at a fixed seed.
+func TestSampledCandidateBandsUnionMatches(t *testing.T) {
+	rng := hashing.NewSplitMix64(23)
+	m, _ := plantedMatrix(rng, 400, 50)
+	sig, err := minhash.Compute(m.Stream(), 12, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const r, l = 5, 8
+	const seed = 99
+	want, wantSt, err := SampledCandidates(sig, r, l, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Len() == 0 {
+		t.Fatal("fixture produced no candidates")
+	}
+	got := pairs.NewSet(want.Len())
+	var bucketPairs int64
+	for _, cut := range [][2]int{{0, 2}, {2, 7}, {7, 8}} {
+		bps, err := SampledCandidateBands(sig, r, l, seed, cut[0], cut[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, bp := range bps {
+			bucketPairs += bp.BucketPairs
+			for _, p := range bp.Pairs {
+				got.Add(p.I, p.J)
+			}
+		}
+	}
+	if bucketPairs != wantSt.BucketPairs {
+		t.Errorf("%d bucket pairs, want %d", bucketPairs, wantSt.BucketPairs)
+	}
+	if got.Len() != want.Len() {
+		t.Errorf("%d candidates, want %d", got.Len(), want.Len())
+	}
+	for _, p := range want.Slice() {
+		if !got.Contains(p.I, p.J) {
+			t.Errorf("missing pair (%d,%d)", p.I, p.J)
+		}
+	}
+}
+
+// TestBandRangeValidation covers the range and parameter checks.
+func TestBandRangeValidation(t *testing.T) {
+	rng := hashing.NewSplitMix64(29)
+	m, _ := plantedMatrix(rng, 50, 10)
+	sig, _ := minhash.Compute(m.Stream(), 10, 3)
+	if _, err := CandidateBands(sig, 5, 2, 0, 3); err == nil {
+		t.Error("band range beyond l accepted")
+	}
+	if _, err := CandidateBands(sig, 5, 2, -1, 1); err == nil {
+		t.Error("negative band lo accepted")
+	}
+	if _, err := CandidateBands(sig, 5, 3, 0, 3); err == nil {
+		t.Error("k < r*l accepted")
+	}
+	if _, err := SampledCandidateBands(sig, 11, 2, 1, 0, 2); err == nil {
+		t.Error("k < r accepted")
+	}
+}

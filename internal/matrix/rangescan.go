@@ -1,0 +1,263 @@
+package matrix
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// ScanRange implements RangeScanner with one sequential pass that
+// skip-decodes the prefix rows, delivers rows in [from, to) with their
+// original ids, and stops without touching the tail. Skipped rows pay
+// only framing cost: ".arows" prefixes are crossed by counting varint
+// terminator bytes in the buffered window, ".carows" bitmap rows are
+// crossed with a bulk discard and Rice rows with a value-free code
+// walk. Validation of skipped rows is structural only (the stream
+// stays framed); delivered rows are validated exactly like Scan.
+// Bounds are clamped to [0, NumRows()]. Byte accounting and *FileError
+// offsets behave like Scan.
+func (fs *FileSource) ScanRange(from, to int, fn func(row int, cols []int32) error) error {
+	if from < 0 {
+		from = 0
+	}
+	if to > fs.rows {
+		to = fs.rows
+	}
+	if from >= to {
+		return nil
+	}
+	f, err := fs.open()
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr := fs.reader(f, true)
+	fail := func(err error) error {
+		return &FileError{Path: fs.path, Offset: tr.off, Err: err}
+	}
+	switch fs.format {
+	case formatARows:
+		return scanRangeRowBinary(tr, fs.rows, fs.cols, from, to, fail, fn)
+	case formatCARows:
+		return scanRangeRowCompressed(tr, fs.rows, fs.cols, from, to, fail, &fs.logicalBytes, fn)
+	}
+	return fs.scanRangeText(tr, from, to, fail, fn)
+}
+
+// scanRangeRowBinary crosses rows [0, from) of an ".arows" stream by
+// counting varint terminators, then decodes rows [from, to) with the
+// same validation as scanRowBinary and stops.
+func scanRangeRowBinary(tr *trackedReader, wantRows, wantCols, from, to int, wrap func(error) error, fn func(int, []int32) error) error {
+	rows, cols, err := readRowBinaryHeader(tr)
+	if err != nil {
+		return wrap(err)
+	}
+	if rows != wantRows || cols != wantCols {
+		return wrap(fmt.Errorf("row-binary dimensions changed on disk: %dx%d", rows, cols))
+	}
+	for row := 0; row < from; row++ {
+		length, err := binary.ReadUvarint(tr)
+		if err != nil {
+			return wrap(fmt.Errorf("row %d length: %w", row, err))
+		}
+		if length > uint64(cols) {
+			return wrap(fmt.Errorf("row %d length %d exceeds column count", row, length))
+		}
+		if err := tr.skipUvarints(int(length)); err != nil {
+			return wrap(fmt.Errorf("row %d: %w", row, err))
+		}
+	}
+	var buf []int32
+	for row := from; row < to; row++ {
+		length, err := binary.ReadUvarint(tr)
+		if err != nil {
+			return wrap(fmt.Errorf("row %d length: %w", row, err))
+		}
+		if length > uint64(cols) {
+			return wrap(fmt.Errorf("row %d length %d exceeds column count", row, length))
+		}
+		buf = buf[:0]
+		prev := int32(0)
+		for i := uint64(0); i < length; i++ {
+			d, err := binary.ReadUvarint(tr)
+			if err != nil {
+				return wrap(fmt.Errorf("row %d entry %d: %w", row, i, err))
+			}
+			var v int32
+			if i == 0 {
+				v = int32(d)
+			} else {
+				v = prev + int32(d)
+			}
+			if v < 0 || int(v) >= cols || (i > 0 && v <= prev) {
+				return wrap(fmt.Errorf("row %d entry %d out of range", row, i))
+			}
+			buf = append(buf, v)
+			prev = v
+		}
+		if err := fn(row, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scanRangeRowCompressed crosses rows [0, from) of a ".carows" stream
+// with skipRow (bulk-discarded bitmaps, value-free Rice walks), then
+// decodes rows [from, to) with the same validation as scanRowCompressed
+// and stops. Logical bytes account only what was actually decoded.
+func scanRangeRowCompressed(tr *trackedReader, wantRows, wantCols, from, to int, wrap func(error) error, logical *atomic.Int64, fn func(int, []int32) error) error {
+	rows, cols, err := readRowCompressedHeader(tr)
+	if err != nil {
+		return wrap(err)
+	}
+	if rows != wantRows || cols != wantCols {
+		return wrap(fmt.Errorf("compressed-row dimensions changed on disk: %dx%d", rows, cols))
+	}
+	d := newCompressedRowDecoder(tr, cols)
+	d.logical = rowHeaderLogicalBytes(rows, cols)
+	for row := 0; row < from; row++ {
+		if err := d.skipRow(row, tr); err != nil {
+			return wrap(err)
+		}
+	}
+	var buf []int32
+	for row := from; row < to; row++ {
+		buf = buf[:0]
+		if err := d.decodeRow(row, func(c int32) { buf = append(buf, c) }); err != nil {
+			return wrap(err)
+		}
+		if err := fn(row, buf); err != nil {
+			return err
+		}
+	}
+	if logical != nil {
+		logical.Add(d.logical)
+	}
+	return nil
+}
+
+// skipRow crosses one row without emitting or validating its postings:
+// bitmap rows are discarded wholesale through tr, Rice rows are walked
+// code by code without range checks. Structural framing (header shape,
+// count bound, byte alignment) is still enforced so a corrupt prefix
+// cannot silently desynchronise the rows that will be delivered.
+func (d *compressedRowDecoder) skipRow(row int, tr *trackedReader) error {
+	h, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		return fmt.Errorf("row %d header: %w", row, err)
+	}
+	if h == 0 {
+		return nil
+	}
+	count := h >> 6
+	mode := (h >> 5) & 1
+	k := uint(h & 31)
+	if count == 0 || count > uint64(d.cols) {
+		return fmt.Errorf("row %d count %d out of range", row, count)
+	}
+	if mode == 1 {
+		if k != 0 {
+			return fmt.Errorf("row %d bitmap header has rice parameter %d", row, k)
+		}
+		if err := tr.discard(int64((d.cols + 7) / 8)); err != nil {
+			return fmt.Errorf("row %d bitmap: %w", row, err)
+		}
+		return nil
+	}
+	for i := uint64(0); i < count; i++ {
+		if _, err := d.pr.ReadRice(k); err != nil {
+			return fmt.Errorf("row %d entry %d: %w", row, i, err)
+		}
+	}
+	d.pr.Align() // rows are byte-aligned
+	return nil
+}
+
+// scanRangeText crosses the header and prefix lines of a text stream,
+// then decodes rows [from, to) with the same validation as Scan.
+func (fs *FileSource) scanRangeText(tr *trackedReader, from, to int, wrap func(error) error, fn func(int, []int32) error) error {
+	for i := 0; i < 2; i++ {
+		if _, err := readLine(tr); err != nil {
+			return wrap(fmt.Errorf("reading header: %w", err))
+		}
+	}
+	for row := 0; row < from; row++ {
+		if _, err := readLine(tr); err != nil {
+			return wrap(fmt.Errorf("row %d: %w", row, err))
+		}
+	}
+	var buf []int32
+	for row := from; row < to; row++ {
+		line, err := readLine(tr)
+		if err != nil {
+			return wrap(fmt.Errorf("row %d: %w", row, err))
+		}
+		buf = buf[:0]
+		for _, field := range strings.Fields(line) {
+			c, err := strconv.Atoi(field)
+			if err != nil {
+				return wrap(fmt.Errorf("row %d: bad column %q", row, field))
+			}
+			if c < 0 || c >= fs.cols {
+				return wrap(fmt.Errorf("row %d: column %d out of range", row, c))
+			}
+			buf = append(buf, int32(c))
+		}
+		if !sort.SliceIsSorted(buf, func(a, b int) bool { return buf[a] < buf[b] }) {
+			sort.Slice(buf, func(a, b int) bool { return buf[a] < buf[b] })
+		}
+		if err := fn(row, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// skipUvarints crosses n varints by counting terminator bytes (high
+// bit clear) in the buffered window — no decoding, no per-byte calls.
+func (t *trackedReader) skipUvarints(n int) error {
+	for n > 0 {
+		buf, err := t.br.Peek(512)
+		if len(buf) == 0 {
+			if err == nil || err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return err
+		}
+		i := 0
+		for i < len(buf) && n > 0 {
+			if buf[i] < 0x80 {
+				n--
+			}
+			i++
+		}
+		t.br.Discard(i)
+		t.off += int64(i)
+	}
+	return nil
+}
+
+// discard crosses n bytes of the buffered stream.
+func (t *trackedReader) discard(n int64) error {
+	for n > 0 {
+		chunk := n
+		if chunk > 1<<16 {
+			chunk = 1 << 16
+		}
+		d, err := t.br.Discard(int(chunk))
+		t.off += int64(d)
+		if err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return err
+		}
+		n -= int64(d)
+	}
+	return nil
+}

@@ -220,6 +220,63 @@ func (t *TailSource) Scan(fn func(row int, cols []int32) error) error {
 	})
 }
 
+// RangeScanner is a RowSource that can deliver a contiguous row-id
+// range more cheaply than a filtered full pass — a file source that
+// skip-decodes the prefix and stops after the range, for instance. The
+// scale-out executor partitions datasets into such ranges so each
+// worker pays decode cost only for its own rows.
+type RangeScanner interface {
+	RowSource
+	// ScanRange invokes fn once per row with from <= id < to, in order,
+	// with the row's sorted column indices and its ORIGINAL row id.
+	// Bounds are clamped to [0, NumRows()].
+	ScanRange(from, to int, fn func(row int, cols []int32) error) error
+}
+
+// errStopRange aborts the underlying Scan once a RangeSource has
+// delivered its last row; it never escapes RangeSource.Scan.
+var errStopRange = errors.New("matrix: range complete")
+
+// RangeSource restricts a RowSource to rows with From <= id < To,
+// preserving the original row ids — the per-worker view of the
+// scale-out executor. Like TailSource it deliberately implements ONLY
+// RowSource: the fast-path interfaces operate on the full underlying
+// data and would silently reintroduce out-of-range rows. When the
+// wrapped source is a RangeScanner, Scan uses its skip-decode path;
+// otherwise it filters a full pass, stopping early after the range.
+type RangeSource struct {
+	Src  RowSource
+	From int // first row id delivered
+	To   int // one past the last row id delivered
+}
+
+// NumRows implements RowSource. Row ids are preserved, so the nominal
+// dimension is unchanged; only Scan's coverage shrinks.
+func (t *RangeSource) NumRows() int { return t.Src.NumRows() }
+
+// NumCols implements RowSource.
+func (t *RangeSource) NumCols() int { return t.Src.NumCols() }
+
+// Scan implements RowSource, delivering only rows in [From, To).
+func (t *RangeSource) Scan(fn func(row int, cols []int32) error) error {
+	if rs, ok := t.Src.(RangeScanner); ok {
+		return rs.ScanRange(t.From, t.To, fn)
+	}
+	err := t.Src.Scan(func(row int, cols []int32) error {
+		if row < t.From {
+			return nil
+		}
+		if row >= t.To {
+			return errStopRange
+		}
+		return fn(row, cols)
+	})
+	if err == errStopRange {
+		return nil
+	}
+	return err
+}
+
 // Collect materialises a RowSource into a Matrix (one pass). It is the
 // inverse of (*Matrix).Stream.
 func Collect(src RowSource) (*Matrix, error) {

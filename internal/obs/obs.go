@@ -106,6 +106,15 @@ const (
 	CounterRowsAppended   = "rows_appended"
 	CounterStatesMerged   = "states_merged"
 	CounterWindowsExpired = "windows_expired"
+	// CounterDistWorkers counts worker subprocesses launched by the
+	// scale-out coordinator (including replacements after a crash),
+	// CounterDistBytesShipped the protocol payload bytes moved over the
+	// coordinator/worker pipes in both directions, and CounterDistRestarts
+	// the failed row/column ranges that were re-dispatched to a fresh
+	// worker. All three are absent in single-process runs.
+	CounterDistWorkers      = "dist_workers"
+	CounterDistBytesShipped = "dist_bytes_shipped"
+	CounterDistRestarts     = "dist_restarts"
 )
 
 // Gauge names. Gauges record the last value set.

@@ -1,0 +1,254 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"assocmine"
+)
+
+func TestResponseCacheLRU(t *testing.T) {
+	c := newResponseCache(2)
+	gen := &index{}
+	key := func(i int) cacheKey {
+		return cacheKey{gen: gen, endpoint: "pairs", body: fmt.Sprintf("{%d}", i)}
+	}
+	c.put(key(1), []byte("one"))
+	c.put(key(2), []byte("two"))
+	if _, ok := c.get(key(1)); !ok {
+		t.Fatal("entry 1 missing")
+	}
+	// 1 was just used, so inserting 3 must evict 2.
+	c.put(key(3), []byte("three"))
+	if _, ok := c.get(key(2)); ok {
+		t.Fatal("entry 2 survived eviction")
+	}
+	if v, ok := c.get(key(1)); !ok || string(v) != "one" {
+		t.Fatalf("entry 1: %q, %v", v, ok)
+	}
+	// Re-putting an existing key updates in place, no eviction.
+	c.put(key(1), []byte("uno"))
+	if v, _ := c.get(key(1)); string(v) != "uno" {
+		t.Fatalf("entry 1 not updated: %q", v)
+	}
+	if c.len() != 2 {
+		t.Fatalf("len %d, want 2", c.len())
+	}
+	c.purge()
+	if c.len() != 0 {
+		t.Fatalf("len %d after purge", c.len())
+	}
+	if _, ok := c.get(key(1)); ok {
+		t.Fatal("entry survived purge")
+	}
+	// Keys from another generation never collide.
+	c.put(key(1), []byte("one"))
+	other := cacheKey{gen: &index{}, endpoint: "pairs", body: "{1}"}
+	if _, ok := c.get(other); ok {
+		t.Fatal("cross-generation hit")
+	}
+}
+
+func counters(s *Server) (hits, misses int64) {
+	snap := s.Collector().Snapshot()
+	return snap.Counters["cache_hits"], snap.Counters["cache_misses"]
+}
+
+// TestCacheHitsAcrossEquivalentBodies locks the canonicalisation: the
+// same logical request, spelled differently on the wire, must be one
+// cache entry, and the cached bytes must equal the computed bytes.
+func TestCacheHitsAcrossEquivalentBodies(t *testing.T) {
+	s := mustServer(t, testDataset(t, 200, 24))
+	bodies := []string{
+		`{"threshold":0.7}`,
+		`{ "threshold" : 0.70 }`,
+		`{"threshold":7e-1}`,
+	}
+	var first []byte
+	for i, body := range bodies {
+		rr := recordPost(s.Handler(), "/v1/pairs", body)
+		if rr.Code != http.StatusOK {
+			t.Fatalf("body %d: status %d: %s", i, rr.Code, rr.Body.String())
+		}
+		if i == 0 {
+			first = rr.Body.Bytes()
+		} else if !bytes.Equal(rr.Body.Bytes(), first) {
+			t.Fatalf("body %d: cached response differs:\n got %s\nwant %s", i, rr.Body.Bytes(), first)
+		}
+	}
+	hits, misses := counters(s)
+	if hits != 2 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 2/1", hits, misses)
+	}
+	// A different request is its own entry.
+	if rr := recordPost(s.Handler(), "/v1/pairs", `{"threshold":0.8}`); rr.Code != http.StatusOK {
+		t.Fatalf("status %d", rr.Code)
+	}
+	hits, misses = counters(s)
+	if hits != 2 || misses != 2 {
+		t.Fatalf("hits=%d misses=%d after distinct request, want 2/2", hits, misses)
+	}
+}
+
+// TestCacheCoversReadOnlyEndpoints repeats one request per cacheable
+// endpoint and expects exactly one miss then one hit for each.
+func TestCacheCoversReadOnlyEndpoints(t *testing.T) {
+	s := mustServer(t, testDataset(t, 200, 24))
+	reqs := []struct{ path, body string }{
+		{"/v1/pairs", `{"threshold":0.7}`},
+		{"/v1/topk", `{"col":2,"k":5}`},
+		{"/v1/toppairs", `{"n":4,"floor":0.6}`},
+		{"/v1/rules", `{"min_confidence":0.9}`},
+		{"/v1/expr", `{"op":"cardinality","expr":"0|1"}`},
+	}
+	for _, q := range reqs {
+		a := recordPost(s.Handler(), q.path, q.body)
+		b := recordPost(s.Handler(), q.path, q.body)
+		if a.Code != http.StatusOK || b.Code != http.StatusOK {
+			t.Fatalf("%s: status %d/%d", q.path, a.Code, b.Code)
+		}
+		if !bytes.Equal(a.Body.Bytes(), b.Body.Bytes()) {
+			t.Fatalf("%s: cached response differs", q.path)
+		}
+	}
+	hits, misses := counters(s)
+	if hits != int64(len(reqs)) || misses != int64(len(reqs)) {
+		t.Fatalf("hits=%d misses=%d, want %d/%d", hits, misses, len(reqs), len(reqs))
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	s, err := New(testDataset(t, 100, 16), Options{CacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if rr := recordPost(s.Handler(), "/v1/pairs", `{"threshold":0.7}`); rr.Code != http.StatusOK {
+			t.Fatalf("status %d", rr.Code)
+		}
+	}
+	hits, misses := counters(s)
+	if hits != 0 || misses != 0 {
+		t.Fatalf("hits=%d misses=%d with cache disabled", hits, misses)
+	}
+}
+
+// refreshableServer builds a file-backed server over the first 300
+// rows of the 400-row test dataset, returning the path and the full
+// row set so tests can grow the file.
+func refreshableServer(t *testing.T, opts Options) (*Server, string, [][]int) {
+	t.Helper()
+	const cols = 24
+	rows := testRows(400, cols)
+	path := filepath.Join(t.TempDir(), "data.txt")
+	prefix, err := assocmine.NewDatasetFromRows(cols, rows[:300])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prefix.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewFromFile(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, path, rows
+}
+
+func growFile(t *testing.T, path string, rows [][]int, cols int) {
+	t.Helper()
+	full, err := assocmine.NewDatasetFromRows(cols, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := full.Save(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheInvalidatedOnRefresh: a refresh that folds new rows swaps
+// the index generation, so the same request recomputes (a miss) and
+// reflects the grown dataset.
+func TestCacheInvalidatedOnRefresh(t *testing.T) {
+	s, path, rows := refreshableServer(t, Options{})
+	const body = `{"threshold":0.7}`
+	a := recordPost(s.Handler(), "/v1/pairs", body)
+	b := recordPost(s.Handler(), "/v1/pairs", body)
+	if a.Code != http.StatusOK || b.Code != http.StatusOK {
+		t.Fatalf("status %d/%d", a.Code, b.Code)
+	}
+	if hits, misses := counters(s); hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d before refresh", hits, misses)
+	}
+	if s.cache.len() == 0 {
+		t.Fatal("nothing cached")
+	}
+	growFile(t, path, rows, 24)
+	if rr := recordPost(s.Handler(), "/v1/refresh", `{}`); rr.Code != http.StatusOK {
+		t.Fatalf("refresh: %d: %s", rr.Code, rr.Body.String())
+	}
+	if s.cache.len() != 0 {
+		t.Fatalf("%d entries survived refresh", s.cache.len())
+	}
+	c := recordPost(s.Handler(), "/v1/pairs", body)
+	if c.Code != http.StatusOK {
+		t.Fatalf("status %d", c.Code)
+	}
+	if hits, misses := counters(s); hits != 1 || misses != 2 {
+		t.Fatalf("hits=%d misses=%d after refresh, want 1/2", hits, misses)
+	}
+	// The post-refresh answer must match a fresh server over the full
+	// data — i.e. the cache did not serve the stale generation.
+	cols := 24
+	full, err := assocmine.NewDatasetFromRows(cols, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := recordPost(mustServer(t, full).Handler(), "/v1/pairs", body)
+	if !bytes.Equal(c.Body.Bytes(), want.Body.Bytes()) {
+		t.Fatalf("post-refresh response differs from fresh server:\n got %s\nwant %s",
+			c.Body.Bytes(), want.Body.Bytes())
+	}
+}
+
+// TestRefreshInterval: the self-refresh poller notices the backing
+// file growing and folds the rows in without any /v1/refresh call;
+// Shutdown stops the poller cleanly.
+func TestRefreshInterval(t *testing.T) {
+	s, path, rows := refreshableServer(t, Options{RefreshInterval: 10 * time.Millisecond})
+	t.Cleanup(func() { s.stopRefresher() })
+	if s.refreshStop == nil {
+		t.Fatal("refresher not started")
+	}
+	growFile(t, path, rows, 24)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if rows := s.index().data.NumRows(); rows == 400 {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("poller never refreshed; rows still %d", rows)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	s.stopRefresher()
+	select {
+	case <-s.refreshDone:
+	default:
+		t.Fatal("refresher still running after stop")
+	}
+}
+
+// TestRefreshIntervalStatic: a static server ignores RefreshInterval.
+func TestRefreshIntervalStatic(t *testing.T) {
+	s, err := New(testDataset(t, 100, 16), Options{RefreshInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.refreshStop != nil {
+		t.Fatal("static server started a refresher")
+	}
+}

@@ -146,6 +146,10 @@ func (s *Server) handlePairs(w http.ResponseWriter, r *http.Request) *httpError 
 	if err := q.validate(ix.data.NumCols()); err != nil {
 		return badRequest(err)
 	}
+	done, key := s.cacheCheck(w, ix, "pairs", &q)
+	if done {
+		return nil
+	}
 	plan, err := choosePlan(q.Threshold, ix.info(), q.Algo)
 	if err != nil {
 		return badRequest(err)
@@ -158,12 +162,11 @@ func (s *Server) handlePairs(w http.ResponseWriter, r *http.Request) *httpError 
 	if err != nil {
 		return queryFailure(err)
 	}
-	writeJSON(w, http.StatusOK, PairsResponse{
+	return s.writeCachedJSON(w, key, PairsResponse{
 		Plan:  plan,
 		Count: len(res.Pairs),
 		Pairs: toPairJSON(res.Pairs),
 	})
-	return nil
 }
 
 // topConfig prepares the descending-search config shared by topk and
@@ -185,6 +188,10 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) *httpError {
 	ix := s.index()
 	if err := q.validate(ix.data.NumCols(), s.opts.MaxTopK); err != nil {
 		return badRequest(err)
+	}
+	done, key := s.cacheCheck(w, ix, "topk", &q)
+	if done {
+		return nil
 	}
 	floor := q.Floor
 	if floor == 0 {
@@ -216,8 +223,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) *httpError {
 		}
 		nbrs[i] = NeighborJSON{Col: other, Estimate: p.Estimate, Similarity: p.Similarity}
 	}
-	writeJSON(w, http.StatusOK, TopKResponse{Plan: plan, Col: q.Col, Neighbors: nbrs})
-	return nil
+	return s.writeCachedJSON(w, key, TopKResponse{Plan: plan, Col: q.Col, Neighbors: nbrs})
 }
 
 func (s *Server) handleTopPairs(w http.ResponseWriter, r *http.Request) *httpError {
@@ -228,6 +234,10 @@ func (s *Server) handleTopPairs(w http.ResponseWriter, r *http.Request) *httpErr
 	ix := s.index()
 	if err := q.validate(s.opts.MaxTopK); err != nil {
 		return badRequest(err)
+	}
+	done, key := s.cacheCheck(w, ix, "toppairs", &q)
+	if done {
+		return nil
 	}
 	floor := q.Floor
 	if floor == 0 {
@@ -251,12 +261,11 @@ func (s *Server) handleTopPairs(w http.ResponseWriter, r *http.Request) *httpErr
 	if err != nil {
 		return queryFailure(err)
 	}
-	writeJSON(w, http.StatusOK, PairsResponse{
+	return s.writeCachedJSON(w, key, PairsResponse{
 		Plan:  plan,
 		Count: len(pairs),
 		Pairs: toPairJSON(pairs),
 	})
-	return nil
 }
 
 func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) *httpError {
@@ -268,6 +277,10 @@ func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) *httpError 
 		return badRequest(err)
 	}
 	ix := s.index()
+	done, key := s.cacheCheck(w, ix, "rules", &q)
+	if done {
+		return nil
+	}
 	ctx, cancel := s.queryContext(r, q.TimeoutMS)
 	defer cancel()
 	res, err := assocmine.MineRulesWithSignatures(ix.data, ix.sig, assocmine.RuleConfig{
@@ -283,8 +296,7 @@ func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) *httpError 
 	for i, rr := range res.Rules {
 		rules[i] = RuleJSON{From: rr.From, To: rr.To, Estimate: rr.Estimate, Confidence: rr.Confidence}
 	}
-	writeJSON(w, http.StatusOK, RulesResponse{Count: len(rules), Rules: rules})
-	return nil
+	return s.writeCachedJSON(w, key, RulesResponse{Count: len(rules), Rules: rules})
 }
 
 func (s *Server) handleExpr(w http.ResponseWriter, r *http.Request) *httpError {
@@ -296,6 +308,10 @@ func (s *Server) handleExpr(w http.ResponseWriter, r *http.Request) *httpError {
 		return badRequest(err)
 	}
 	ix := s.index()
+	done, key := s.cacheCheck(w, ix, "expr", &q)
+	if done {
+		return nil
+	}
 	cols := ix.expr.NumCols()
 	var value float64
 	switch q.Op {
@@ -328,8 +344,7 @@ func (s *Server) handleExpr(w http.ResponseWriter, r *http.Request) *httpError {
 			return badRequest(err)
 		}
 	}
-	writeJSON(w, http.StatusOK, ExprResponse{Op: q.Op, Value: value})
-	return nil
+	return s.writeCachedJSON(w, key, ExprResponse{Op: q.Op, Value: value})
 }
 
 func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) *httpError {

@@ -52,6 +52,16 @@ type Options struct {
 	MaxTopK int
 	// MaxBodyBytes caps request bodies; default 1 MiB.
 	MaxBodyBytes int64
+	// CacheSize bounds the response cache: rendered 200 responses to
+	// the read-only query endpoints, keyed by (index generation,
+	// canonical request body) and invalidated when a refresh swaps the
+	// generation. 0 means 256 entries; negative disables caching.
+	CacheSize int
+	// RefreshInterval, for file-backed servers, enables periodic
+	// self-refresh: the backing file is stat-polled at this interval
+	// and appended rows are folded in through the same incremental
+	// path as /v1/refresh. 0 disables; static servers ignore it.
+	RefreshInterval time.Duration
 	// Collector receives the server's metrics (query counters, per-
 	// endpoint latency spans, and every query's pipeline counters).
 	// One is created when nil; exposed on /metrics and /debug/vars.
@@ -90,6 +100,9 @@ func (o *Options) setDefaults() {
 	}
 	if o.MaxBodyBytes == 0 {
 		o.MaxBodyBytes = 1 << 20
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 256
 	}
 	if o.Collector == nil {
 		o.Collector = obs.NewCollector()
@@ -132,6 +145,16 @@ type Server struct {
 
 	mu  sync.RWMutex // guards idx
 	idx *index
+
+	// cache is the LRU response cache; nil when disabled.
+	cache *responseCache
+
+	// refreshStop/refreshDone bracket the self-refresh poller's
+	// lifetime; refreshOnce makes stopping idempotent across repeated
+	// Shutdowns.
+	refreshStop chan struct{}
+	refreshDone chan struct{}
+	refreshOnce sync.Once
 
 	// drainMu orders the draining flag against in-flight registration:
 	// handlers hold the read side while checking the flag and joining
@@ -221,6 +244,7 @@ func NewFromFile(path string, opts Options) (*Server, error) {
 	if err := s.saveSnapshots(); err != nil {
 		return nil, err
 	}
+	s.startRefresher()
 	return s, nil
 }
 
@@ -265,6 +289,9 @@ func finishNew(opts Options, ix *index, path string, ingMH, ingKMH *assocmine.In
 		ingMH:  ingMH,
 		ingKMH: ingKMH,
 		idx:    ix,
+	}
+	if opts.CacheSize > 0 {
+		s.cache = newResponseCache(opts.CacheSize)
 	}
 	s.handler = s.buildMux()
 	s.coll.SetGauge("serve_rows", int64(ix.data.NumRows()))
@@ -338,9 +365,67 @@ func (s *Server) Refresh() (int, error) {
 	s.mu.Lock()
 	s.idx = ix
 	s.mu.Unlock()
+	// Entries keyed to the old generation can no longer be hit; drop
+	// them now rather than waiting for LRU pressure.
+	if s.cache != nil {
+		s.cache.purge()
+	}
 	s.coll.Add("index_refreshes", 1)
 	s.coll.SetGauge("serve_rows", int64(data.NumRows()))
 	return n, nil
+}
+
+// startRefresher launches the periodic self-refresh poller when the
+// server can refresh and RefreshInterval asks for it. The backing
+// file is stat-polled each tick; a size or mtime change triggers the
+// same incremental catch-up as /v1/refresh. Stat first, so an
+// unchanged file costs one syscall per tick, not a header parse.
+func (s *Server) startRefresher() {
+	if s.opts.RefreshInterval <= 0 || s.path == "" || s.ingMH == nil || s.ingKMH == nil {
+		return
+	}
+	s.refreshStop = make(chan struct{})
+	s.refreshDone = make(chan struct{})
+	var lastSize int64
+	var lastMod time.Time
+	if fi, err := os.Stat(s.path); err == nil {
+		lastSize, lastMod = fi.Size(), fi.ModTime()
+	}
+	go func() {
+		defer close(s.refreshDone)
+		t := time.NewTicker(s.opts.RefreshInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.refreshStop:
+				return
+			case <-t.C:
+				fi, err := os.Stat(s.path)
+				if err != nil {
+					s.coll.Add("refresh_errors", 1)
+					continue
+				}
+				if fi.Size() == lastSize && fi.ModTime().Equal(lastMod) {
+					continue
+				}
+				lastSize, lastMod = fi.Size(), fi.ModTime()
+				if _, err := s.Refresh(); err != nil {
+					s.coll.Add("refresh_errors", 1)
+				}
+			}
+		}
+	}()
+}
+
+// stopRefresher halts the self-refresh poller and waits it out, so no
+// refresh can start after Shutdown returns. Safe to call repeatedly
+// and on servers that never started one.
+func (s *Server) stopRefresher() {
+	if s.refreshStop == nil {
+		return
+	}
+	s.refreshOnce.Do(func() { close(s.refreshStop) })
+	<-s.refreshDone
 }
 
 // Handler returns the server's HTTP handler (stable across calls), for
@@ -383,6 +468,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.drainMu.Lock()
 	s.draining = true
 	s.drainMu.Unlock()
+	s.stopRefresher()
 	var err error
 	s.httpMu.Lock()
 	srv := s.httpSrv
